@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 4: latency vs throughput, normal-steady.
+
+Paper claim reproduced here: the FD and GM algorithms have identical
+performance in runs with neither crashes nor suspicions; latency increases
+with the throughput and with the number of processes.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import figure4
+from repro.experiments.shape_checks import check_figure4
+
+
+def test_figure4_normal_steady(run_once):
+    result = run_once(figure4.run, quick=True, seed=1)
+    checks = check_figure4(result)
+    save_and_print(result, checks)
+    assert checks["fd_equals_gm_n3"]
+    assert checks["fd_equals_gm_n7"]
+    assert checks["latency_increases_with_T_n3"]
+    assert checks["n7_slower_than_n3"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 5: latency vs throughput, crash-steady.
+
+Paper claims reproduced here: latency decreases when processes have crashed
+long ago (they stop loading the network); for the same number of crashes the
+GM algorithm is at least as good as the FD algorithm, with the advantage
+growing with the number of crashed processes (smaller views need fewer
+acknowledgements).
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import figure5
+from repro.experiments.shape_checks import check_figure5
+
+
+def test_figure5_crash_steady(run_once):
+    result = run_once(figure5.run, quick=True, seed=1)
+    checks = check_figure5(result)
+    save_and_print(result, checks)
+    assert checks.get("gm_not_worse_than_fd_n3", True)
+    assert checks.get("gm_not_worse_than_fd_n7", True)
+    assert checks.get("gm_beats_fd_with_3_crashes_n7", True)

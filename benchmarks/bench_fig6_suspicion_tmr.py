@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 6: latency vs mistake recurrence time T_MR.
+
+Paper claims reproduced here: the GM algorithm is very sensitive to wrong
+suspicions (its latency explodes, or the point does not complete, at small
+T_MR) while the FD algorithm degrades only mildly; the two curves join for
+very large T_MR.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import figure6
+from repro.experiments.shape_checks import check_figure6
+
+
+def test_figure6_suspicion_tmr(run_once):
+    result = run_once(figure6.run, quick=True, seed=1, num_messages=60)
+    checks = check_figure6(result)
+    save_and_print(result, checks)
+    assert checks["gm_much_worse_at_small_tmr_n3_T10"]
+    assert checks["curves_join_at_large_tmr_n3_T10"]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 7: latency vs mistake duration T_M.
+
+Paper claim reproduced here: with the mistake recurrence time fixed, the GM
+algorithm is also sensitive to the mistake *duration* (wrongly suspected
+processes are excluded and must rejoin, which costs about T_M plus two view
+changes), whereas the FD algorithm barely reacts.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import figure7
+from repro.experiments.shape_checks import check_figure7
+
+
+def test_figure7_suspicion_tm(run_once):
+    result = run_once(figure7.run, quick=True, seed=1, num_messages=60)
+    checks = check_figure7(result)
+    save_and_print(result, checks)
+    assert checks["gm_more_sensitive_to_tm_n3_T10"]

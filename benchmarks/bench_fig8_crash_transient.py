@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 8: latency overhead in the crash-transient scenario.
+
+Paper claims reproduced here: after the crash of the coordinator/sequencer,
+both algorithms recover with an overhead that is a small multiple of the
+normal-steady latency, and the FD algorithm is at or below the GM algorithm
+(the effect is clearest at low throughput and for T_D = 0; see EXPERIMENTS.md
+for the discussion of the higher-throughput points).
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import figure8
+from repro.experiments.shape_checks import check_figure8
+
+
+def test_figure8_crash_transient(run_once):
+    result = run_once(figure8.run, quick=True, seed=1, num_runs=6)
+    checks = check_figure8(result)
+    save_and_print(result, checks)
+    assert checks["overhead_moderate_n3"]
+    assert checks["overhead_moderate_n7"]
+    assert checks["fd_wins_at_low_T_n3"]

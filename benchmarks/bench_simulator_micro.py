@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These measure wall-clock performance of the discrete-event kernel and the
+contention network model (events per second, simulated broadcasts per
+second), which bounds how large the figure sweeps can be made.
+"""
+
+from repro import SystemConfig, build_system
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import Network, NetworkConfig
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule and execute 20k chained events."""
+
+    def run():
+        simulator = Simulator()
+        remaining = [20_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                simulator.schedule(0.1, tick)
+
+        simulator.schedule(0.1, tick)
+        simulator.run()
+        return simulator.events_processed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_network_model_throughput(benchmark):
+    """Push 3000 multicasts through the contention model."""
+
+    def run():
+        simulator = Simulator()
+        network = Network(simulator, NetworkConfig(n=5))
+        received = [0]
+        for pid in range(5):
+            network.attach(pid, lambda p, m: received.__setitem__(0, received[0] + 1))
+        for i in range(3000):
+            network.send(Message(i % 5, tuple(range(5)), "p", i))
+        simulator.run()
+        return received[0]
+
+    deliveries = benchmark(run)
+    assert deliveries == 3000 * 5
+
+
+def test_end_to_end_broadcast_rate_fd(benchmark):
+    """Order 300 messages end to end with the FD algorithm."""
+
+    def run():
+        system = build_system(SystemConfig(n=3, algorithm="fd", seed=1))
+        system.start()
+        for i in range(300):
+            system.broadcast_at(1.0 + i * 2.0, i % 3, i)
+        system.run(until=100_000.0)
+        return sum(len(seq) for seq in system.delivery_sequences().values())
+
+    delivered = benchmark(run)
+    assert delivered == 300 * 3
+
+
+def test_end_to_end_broadcast_rate_gm(benchmark):
+    """Order 300 messages end to end with the GM algorithm."""
+
+    def run():
+        system = build_system(SystemConfig(n=3, algorithm="gm", seed=1))
+        system.start()
+        for i in range(300):
+            system.broadcast_at(1.0 + i * 2.0, i % 3, i)
+        system.run(until=100_000.0)
+        return sum(len(seq) for seq in system.delivery_sequences().values())
+
+    delivered = benchmark(run)
+    assert delivered == 300 * 3

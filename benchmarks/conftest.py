@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (in reduced-size
+"quick" form so the whole suite completes on one machine), prints the same
+rows/series the paper reports and saves them under ``benchmarks/output/`` so
+they can be inspected after the run and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+import pytest
+
+from repro.experiments.report import format_figure
+from repro.experiments.series import FigureResult
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_and_print(figure: FigureResult, checks: Dict[str, bool] = None) -> str:
+    """Render ``figure``, print it, persist it and return the text."""
+    text = format_figure(figure)
+    if checks:
+        lines = [text, ""]
+        for key, ok in sorted(checks.items()):
+            lines.append(f"  shape check {key}: {'PASS' if ok else 'FAIL'}")
+        text = "\n".join(lines)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"figure{figure.figure}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benchmarked callable exactly once (the sweeps are heavy)."""
+
+    def runner(func: Callable, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,145 @@
+"""Trace recorders: capture the message exchange and deliveries of a run.
+
+The paper's comparison rests on the observation that the two algorithms
+generate the same exchange of messages in suspicion-free runs (Fig. 1).
+:class:`MessageTraceRecorder` captures every send that reaches the network
+model (time, sender, remote destinations, protocol), which makes that kind
+of claim directly checkable; :class:`DeliveryTraceRecorder` captures every
+A-delivery.  Both are used by the integration tests and are handy for
+debugging protocol changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Counter, Dict, List, Optional, Tuple
+
+from repro.core.types import BroadcastID
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    """One message captured by :class:`MessageTraceRecorder`."""
+
+    time: float
+    sender: int
+    destinations: Tuple[int, ...]
+    protocol: str
+
+    @property
+    def is_multicast(self) -> bool:
+        """Whether the message had more than one remote destination."""
+        return len(self.destinations) > 1
+
+
+class MessageTraceRecorder:
+    """Records every message injected into a system's network."""
+
+    def __init__(self, system, include_protocols: Optional[Tuple[str, ...]] = None) -> None:
+        self.system = system
+        self.include_protocols = include_protocols
+        self.messages: List[TracedMessage] = []
+        self._original_send = system.network.send
+        system.network.send = self._recording_send
+
+    def _recording_send(self, message) -> None:
+        if self.include_protocols is None or message.protocol in self.include_protocols:
+            self.messages.append(
+                TracedMessage(
+                    time=round(self.system.sim.now, 9),
+                    sender=message.sender,
+                    destinations=tuple(sorted(message.remote_destinations())),
+                    protocol=message.protocol,
+                )
+            )
+        self._original_send(message)
+
+    def detach(self) -> None:
+        """Stop recording and restore the original network send."""
+        self.system.network.send = self._original_send
+
+    # ------------------------------------------------------------------ queries
+
+    def pattern(self) -> List[Tuple[float, int, Tuple[int, ...]]]:
+        """The (time, sender, destinations) pattern, protocol-agnostic.
+
+        Two algorithm implementations that "generate the same exchange of
+        messages" produce equal patterns even though the protocol names and
+        payloads differ.
+        """
+        return [(m.time, m.sender, m.destinations) for m in self.messages]
+
+    def counts_by_protocol(self) -> Dict[str, int]:
+        """Number of captured messages per protocol name."""
+        counts: Dict[str, int] = {}
+        for message in self.messages:
+            counts[message.protocol] = counts.get(message.protocol, 0) + 1
+        return counts
+
+    def multicast_count(self) -> int:
+        """Number of captured multicasts."""
+        return sum(1 for m in self.messages if m.is_multicast)
+
+    def unicast_count(self) -> int:
+        """Number of captured unicasts."""
+        return sum(1 for m in self.messages if not m.is_multicast and m.destinations)
+
+
+@dataclass(frozen=True)
+class TracedDelivery:
+    """One A-delivery captured by :class:`DeliveryTraceRecorder`."""
+
+    time: float
+    process: int
+    broadcast_id: BroadcastID
+    payload: Any
+
+
+class DeliveryTraceRecorder:
+    """Records every A-delivery of a system, on every process."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.deliveries: List[TracedDelivery] = []
+        system.add_delivery_listener(self._on_delivery)
+
+    def _on_delivery(self, pid: int, broadcast_id: BroadcastID, payload: Any) -> None:
+        self.deliveries.append(
+            TracedDelivery(
+                time=round(self.system.sim.now, 9),
+                process=pid,
+                broadcast_id=broadcast_id,
+                payload=payload,
+            )
+        )
+
+    # ------------------------------------------------------------------ queries
+
+    def sequence_for(self, pid: int) -> List[BroadcastID]:
+        """Delivery order observed by process ``pid``."""
+        return [d.broadcast_id for d in self.deliveries if d.process == pid]
+
+    def first_delivery_times(self) -> Dict[BroadcastID, float]:
+        """Earliest delivery time of every message."""
+        times: Dict[BroadcastID, float] = {}
+        for delivery in self.deliveries:
+            current = times.get(delivery.broadcast_id)
+            if current is None or delivery.time < current:
+                times[delivery.broadcast_id] = delivery.time
+        return times
+
+    def time_multiset(self) -> List[Tuple[float, int]]:
+        """Sorted multiset of (time, process) pairs -- latency fingerprint."""
+        return sorted((d.time, d.process) for d in self.deliveries)
+
+    def total_order_holds(self) -> bool:
+        """Whether all per-process sequences are prefixes of one another."""
+        sequences = [
+            self.sequence_for(pid) for pid in range(self.system.config.n)
+        ]
+        for i, first in enumerate(sequences):
+            for second in sequences[i + 1 :]:
+                prefix = min(len(first), len(second))
+                if first[:prefix] != second[:prefix]:
+                    return False
+        return True

@@ -1,0 +1,35 @@
+"""Core algorithms of the paper.
+
+* :mod:`repro.core.types` -- broadcast identifiers, views and the common
+  :class:`~repro.core.types.AtomicBroadcast` interface.
+* :mod:`repro.core.reliable_broadcast` -- efficient reliable broadcast (one
+  multicast in the common case, relay on suspicion of the origin).
+* :mod:`repro.core.consensus` -- Chandra-Toueg rotating-coordinator consensus
+  for the failure detector class ``<>S``.
+* :mod:`repro.core.fd_broadcast` -- the *FD algorithm*: Chandra-Toueg atomic
+  broadcast built on a sequence of consensus instances.
+* :mod:`repro.core.group_membership` -- the group membership service (view
+  changes over consensus, view synchrony, rejoin of wrongly excluded
+  processes, state transfer).
+* :mod:`repro.core.sequencer_broadcast` -- the *GM algorithm*: fixed-sequencer
+  uniform atomic broadcast reconfigured through group membership, plus its
+  non-uniform variant.
+"""
+
+from repro.core.types import AtomicBroadcast, BroadcastID, View
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.consensus import ConsensusService
+from repro.core.fd_broadcast import FDAtomicBroadcast
+from repro.core.group_membership import GroupMembership
+from repro.core.sequencer_broadcast import SequencerAtomicBroadcast
+
+__all__ = [
+    "AtomicBroadcast",
+    "BroadcastID",
+    "ConsensusService",
+    "FDAtomicBroadcast",
+    "GroupMembership",
+    "ReliableBroadcast",
+    "SequencerAtomicBroadcast",
+    "View",
+]

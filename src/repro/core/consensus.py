@@ -1,0 +1,476 @@
+"""Chandra-Toueg rotating-coordinator consensus for failure detector ``<>S``.
+
+The implementation follows the original algorithm with the "easy
+optimisations" the paper mentions:
+
+* **Round 1 skips the estimate phase.**  The round-1 coordinator proposes its
+  own initial value directly, so a suspicion-free execution costs one
+  multicast (the proposal), ``n - 1`` unicast acknowledgements and one
+  multicast decision -- exactly the pattern of Fig. 1.
+* **Lazy round progression.**  After acknowledging a proposal, a process
+  waits for the decision instead of eagerly moving to the next round; it only
+  advances when it suspects the current coordinator or when it receives a
+  message of a higher round (catch-up rule).  This removes the superfluous
+  estimate messages from failure-free runs while preserving liveness.
+
+Several consensus instances can be in progress at the same time; they are
+identified by an opaque, hashable *consensus id* (``cid``).  Decisions are
+disseminated with reliable broadcast, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.sim.process import Component, SimProcess
+
+DecisionListener = Callable[[Hashable, Any], None]
+UnknownInstanceListener = Callable[[Hashable], None]
+
+_ESTIMATE = "ESTIMATE"
+_PROPOSE = "PROPOSE"
+_ACK = "ACK"
+_NACK = "NACK"
+_DECIDE_TAG = "CONS_DECIDE"
+
+
+class ConsensusInstance:
+    """One execution of the Chandra-Toueg consensus algorithm."""
+
+    def __init__(
+        self,
+        service: "ConsensusService",
+        cid: Hashable,
+        value: Any,
+        participants: Sequence[int],
+        coordinator_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.service = service
+        self.cid = cid
+        self.participants: Tuple[int, ...] = tuple(participants)
+        self.order: Tuple[int, ...] = (
+            tuple(coordinator_order) if coordinator_order is not None else self.participants
+        )
+        if set(self.order) != set(self.participants):
+            raise ValueError("coordinator_order must be a permutation of participants")
+        self.majority = len(self.participants) // 2 + 1
+        self.pid = service.pid
+
+        self.estimate = value
+        self.ts = 0
+        self.round = 0
+        self.decided = False
+        self.decision: Any = None
+
+        self._acked_round: Set[int] = set()
+        self._nacked_round: Set[int] = set()
+        self._estimates: Dict[int, Dict[int, Tuple[int, Any]]] = {}
+        self._acks: Dict[int, Set[int]] = {}
+        self._nacks: Dict[int, Set[int]] = {}
+        self._proposal_sent: Set[int] = set()
+        self._proposal_value: Dict[int, Any] = {}
+        self._received_proposal: Dict[int, Any] = {}
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._abandon_recheck_scheduled: Set[int] = set()
+        #: Diagnostics: how many rounds this instance went through.
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def coordinator_of(self, round_number: int) -> int:
+        """The coordinator of ``round_number`` (rotating over ``order``)."""
+        return self.order[(round_number - 1) % len(self.order)]
+
+    def _others(self) -> List[int]:
+        return [pid for pid in self.participants if pid != self.pid]
+
+    def _suspects(self, pid: int) -> bool:
+        detector = self.service.process.failure_detector
+        return detector is not None and detector.is_suspected(pid)
+
+    def _send(self, destination: int, body: Any) -> None:
+        self.service.send_one(destination, body)
+
+    def _multicast(self, destinations: Sequence[int], body: Any) -> None:
+        if destinations:
+            self.service.send(list(destinations), body)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Enter round 1 (called once, right after construction)."""
+        self._enter_round(1)
+
+    def _enter_round(self, round_number: int) -> None:
+        while True:
+            if self.decided:
+                return
+            self.round = round_number
+            self.rounds_executed += 1
+            coordinator = self.coordinator_of(round_number)
+
+            if coordinator == self.pid:
+                self._run_coordinator_round(round_number)
+                self._replay_future(round_number)
+                return
+
+            # Non-coordinator: send the estimate (rounds > 1), then wait for the
+            # proposal unless the coordinator is already suspected.
+            if round_number > 1:
+                self._send(coordinator, (_ESTIMATE, self.cid, round_number, self.estimate, self.ts))
+            if self._suspects(coordinator):
+                self._send(coordinator, (_NACK, self.cid, round_number))
+                self._nacked_round.add(round_number)
+                round_number += 1
+                continue
+            self._replay_future(round_number)
+            return
+
+    def _run_coordinator_round(self, round_number: int) -> None:
+        if round_number == 1:
+            # Optimisation: the round-1 coordinator proposes its own value.
+            self._send_proposal(round_number, self.estimate)
+        else:
+            estimates = self._estimates.setdefault(round_number, {})
+            estimates[self.pid] = (self.ts, self.estimate)
+            self._maybe_propose(round_number)
+
+    def _replay_future(self, round_number: int) -> None:
+        pending = self._future.pop(round_number, [])
+        for sender, body in pending:
+            self._process_current(sender, body)
+
+    # ------------------------------------------------------------------ messages
+
+    def handle(self, sender: int, body: Any) -> None:
+        """Dispatch one consensus message belonging to this instance."""
+        if self.decided:
+            return
+        round_number = body[2]
+        if round_number < self.round:
+            self._handle_old_round(sender, body)
+            return
+        if round_number > self.round:
+            # Catch-up rule: jump forward only when the message proves that a
+            # higher round is actively progressing and needs us -- a proposal
+            # (we should acknowledge it) or an estimate addressed to us as the
+            # coordinator of that round (we should drive it).  Reacting to any
+            # other higher-round message would let every wrong suspicion made
+            # by any process drag the whole system forward and livelock the
+            # instance under frequent mistakes.
+            self._future.setdefault(round_number, []).append((sender, body))
+            kind = body[0]
+            if kind == _PROPOSE or (
+                kind == _ESTIMATE and self.coordinator_of(round_number) == self.pid
+            ):
+                self._enter_round(round_number)
+            return
+        self._process_current(sender, body)
+
+    def _handle_old_round(self, sender: int, body: Any) -> None:
+        kind, _cid, round_number = body[0], body[1], body[2]
+        if kind == _PROPOSE:
+            # Help the stale coordinator move on.
+            self._send(sender, (_NACK, self.cid, round_number))
+
+    def _process_current(self, sender: int, body: Any) -> None:
+        if self.decided:
+            return
+        kind = body[0]
+        round_number = body[2]
+        if round_number != self.round:
+            return
+        coordinator = self.coordinator_of(round_number)
+
+        if kind == _ESTIMATE:
+            if coordinator != self.pid:
+                return
+            _tag, _cid, _r, estimate, ts = body
+            estimates = self._estimates.setdefault(round_number, {})
+            if sender not in estimates:
+                estimates[sender] = (ts, estimate)
+            self._maybe_propose(round_number)
+        elif kind == _PROPOSE:
+            if sender != coordinator or coordinator == self.pid:
+                return
+            value = body[3]
+            if round_number in self._acked_round or round_number in self._nacked_round:
+                return
+            self._received_proposal[round_number] = value
+            self.estimate = value
+            self.ts = round_number
+            self._acked_round.add(round_number)
+            self._send(coordinator, (_ACK, self.cid, round_number))
+        elif kind == _ACK:
+            if coordinator != self.pid:
+                return
+            self._acks.setdefault(round_number, set()).add(sender)
+            self._maybe_decide(round_number)
+        elif kind == _NACK:
+            if coordinator != self.pid:
+                return
+            self._nacks.setdefault(round_number, set()).add(sender)
+            if round_number in self._proposal_sent:
+                self._maybe_abandon_round(round_number)
+            else:
+                self._maybe_propose(round_number)
+
+    # ------------------------------------------------------------------ coordinator
+
+    def _maybe_propose(self, round_number: int) -> None:
+        if round_number in self._proposal_sent or self.decided:
+            return
+        estimates = self._estimates.get(round_number, {})
+        if len(estimates) < self.majority:
+            return
+        # Adopt the estimate with the highest timestamp (deterministic
+        # tie-break on the sender id for reproducibility).
+        best_sender = max(estimates, key=lambda sender: (estimates[sender][0], -sender))
+        value = estimates[best_sender][1]
+        self._send_proposal(round_number, value)
+
+    def _send_proposal(self, round_number: int, value: Any) -> None:
+        self._proposal_sent.add(round_number)
+        self._proposal_value[round_number] = value
+        self.estimate = value
+        self.ts = round_number
+        self._acks.setdefault(round_number, set()).add(self.pid)
+        self._multicast(self._others(), (_PROPOSE, self.cid, round_number, value))
+        self._maybe_decide(round_number)
+
+    def _maybe_decide(self, round_number: int) -> None:
+        if self.decided or round_number not in self._proposal_sent:
+            return
+        acks = self._acks.get(round_number, set())
+        if len(acks) >= self.majority:
+            self.service._local_decision(self.cid, self._proposal_value[round_number])
+
+    def _maybe_abandon_round(self, round_number: int, deferred: bool = False) -> None:
+        """Give up the round only once a majority of acks became impossible.
+
+        A single wrong suspicion (hence a single nack) must not abort the
+        round: the coordinator can still decide with the acknowledgements of
+        the processes that did not suspect it.  The round is abandoned when
+
+        * the explicit nacks alone rule out a majority of acks, or
+        * the nacks plus the *suspected* silent processes rule it out and the
+          situation persists for a short grace period (so that an
+          instantaneous wrong suspicion of a process whose ack is still in
+          flight does not needlessly abort the round -- that was observed to
+          livelock the algorithm under very frequent mistakes).
+        """
+        if self.decided or self.round != round_number:
+            return
+        if round_number not in self._proposal_sent:
+            return
+        acks = self._acks.get(round_number, set())
+        if len(acks) >= self.majority:
+            return
+        nacks = self._nacks.get(round_number, set())
+        silent = [
+            pid for pid in self.participants if pid not in acks and pid not in nacks
+        ]
+        if len(acks) + len(silent) < self.majority:
+            # Explicit refusals alone make the round hopeless.
+            self._enter_round(round_number + 1)
+            return
+        trusted_silent = [pid for pid in silent if not self._suspects(pid)]
+        if len(acks) + len(trusted_silent) >= self.majority:
+            return
+        if deferred:
+            self._enter_round(round_number + 1)
+            return
+        if round_number not in self._abandon_recheck_scheduled:
+            self._abandon_recheck_scheduled.add(round_number)
+            self.service.set_timer(
+                self.service.abandon_grace, self._recheck_abandon, round_number
+            )
+
+    def _recheck_abandon(self, round_number: int) -> None:
+        self._abandon_recheck_scheduled.discard(round_number)
+        if not self.decided and self.round == round_number:
+            self._maybe_abandon_round(round_number, deferred=True)
+
+    # ------------------------------------------------------------------ suspicions
+
+    def on_suspicion_change(self, pid: int, suspected: bool) -> None:
+        """React to the failure detector suspecting/trusting ``pid``."""
+        if self.decided or not suspected:
+            return
+        round_number = self.round
+        coordinator = self.coordinator_of(round_number)
+        if coordinator == self.pid:
+            # The coordinator re-evaluates whether the round can still
+            # succeed when one of the processes it waits for gets suspected.
+            self._maybe_abandon_round(round_number)
+            return
+        if pid != coordinator:
+            return
+        if round_number not in self._acked_round and round_number not in self._nacked_round:
+            self._send(coordinator, (_NACK, self.cid, round_number))
+            self._nacked_round.add(round_number)
+        self._enter_round(round_number + 1)
+
+    # ------------------------------------------------------------------ decision
+
+    def mark_decided(self, value: Any) -> None:
+        """Record that this instance has decided (set by the service)."""
+        self.decided = True
+        self.decision = value
+        self._future.clear()
+
+
+class ConsensusService(Component):
+    """Hosts consensus instances and routes their messages (protocol ``"consensus"``).
+
+    Instances are created by :meth:`propose`.  Messages that arrive for an
+    instance the local process has not proposed in yet are buffered and
+    replayed once :meth:`propose` is called; decisions are processed
+    immediately in all cases because they are carried by reliable broadcast.
+    """
+
+    protocol = "consensus"
+
+    def __init__(
+        self,
+        process: SimProcess,
+        rbcast: ReliableBroadcast,
+        abandon_grace: Optional[float] = None,
+    ) -> None:
+        super().__init__(process)
+        self.rbcast = rbcast
+        network_config = process.network.config
+        #: Grace period before a coordinator abandons a round that is blocked
+        #: only by suspicions (roughly one acknowledgement round-trip).
+        self.abandon_grace = (
+            abandon_grace
+            if abandon_grace is not None
+            else 2 * (2 * network_config.lambda_cpu + network_config.network_time) + 2.0
+        )
+        self._instances: Dict[Hashable, ConsensusInstance] = {}
+        self._buffered: Dict[Hashable, List[Tuple[int, Any]]] = {}
+        self._decisions: Dict[Hashable, Any] = {}
+        self._decision_listeners: List[DecisionListener] = []
+        self._unknown_listeners: List[UnknownInstanceListener] = []
+        rbcast.add_listener(self._on_rbcast_delivery)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Subscribe to the local failure detector."""
+        detector = self.process.failure_detector
+        if detector is not None:
+            detector.add_listener(self._on_suspicion_change)
+
+    # ------------------------------------------------------------------ API
+
+    def add_decision_listener(self, listener: DecisionListener) -> None:
+        """Subscribe to decisions: ``listener(cid, value)``, once per instance."""
+        self._decision_listeners.append(listener)
+
+    def add_unknown_instance_listener(self, listener: UnknownInstanceListener) -> None:
+        """Subscribe to first contact with instances not yet proposed locally."""
+        self._unknown_listeners.append(listener)
+
+    def propose(
+        self,
+        cid: Hashable,
+        value: Any,
+        participants: Sequence[int],
+        coordinator_order: Optional[Sequence[int]] = None,
+    ) -> ConsensusInstance:
+        """Propose ``value`` in instance ``cid`` and start participating in it."""
+        if cid in self._instances:
+            return self._instances[cid]
+        instance = ConsensusInstance(self, cid, value, participants, coordinator_order)
+        self._instances[cid] = instance
+        if cid in self._decisions:
+            instance.mark_decided(self._decisions[cid])
+            return instance
+        instance.start()
+        for sender, body in self._buffered.pop(cid, []):
+            if not instance.decided:
+                instance.handle(sender, body)
+        return instance
+
+    def has_proposed(self, cid: Hashable) -> bool:
+        """Whether the local process has started participating in ``cid``."""
+        return cid in self._instances
+
+    def has_buffered(self, cid: Hashable) -> bool:
+        """Whether messages are waiting for a local :meth:`propose` of ``cid``."""
+        return cid in self._buffered
+
+    def is_decided(self, cid: Hashable) -> bool:
+        """Whether instance ``cid`` has decided locally."""
+        return cid in self._decisions
+
+    def decision(self, cid: Hashable) -> Any:
+        """The decision of ``cid`` (raises ``KeyError`` if undecided)."""
+        return self._decisions[cid]
+
+    def instance(self, cid: Hashable) -> Optional[ConsensusInstance]:
+        """The local instance object for ``cid`` (or ``None``)."""
+        return self._instances.get(cid)
+
+    # ------------------------------------------------------------------ messages
+
+    def on_message(self, sender: int, body: Any) -> None:
+        """Route a consensus message to its instance (or buffer it)."""
+        cid = body[1]
+        if cid in self._decisions:
+            return
+        instance = self._instances.get(cid)
+        if instance is None:
+            known = cid in self._buffered
+            self._buffered.setdefault(cid, []).append((sender, body))
+            if not known:
+                for listener in list(self._unknown_listeners):
+                    listener(cid)
+            return
+        instance.handle(sender, body)
+
+    def _on_rbcast_delivery(self, origin: int, rb_uid: Tuple[int, int], payload: Any) -> None:
+        if not isinstance(payload, tuple) or not payload or payload[0] != _DECIDE_TAG:
+            return
+        _tag, cid, value = payload
+        self.rbcast.mark_stable(rb_uid)
+        self._record_decision(cid, value)
+
+    # ------------------------------------------------------------------ decisions
+
+    def _local_decision(self, cid: Hashable, value: Any) -> None:
+        """Called by the deciding coordinator: disseminate, then record.
+
+        The decision message is handed to the network *before* the local
+        decision listeners run: the listeners typically start the next
+        ordering round (next consensus instance / next batch) and its
+        messages must queue behind the decision on the CPU, exactly as in
+        the sequencer algorithm, so that the two algorithms keep identical
+        message timing.
+        """
+        if cid in self._decisions:
+            return
+        instance = self._instances.get(cid)
+        participants = instance.participants if instance else None
+        self.rbcast.broadcast((_DECIDE_TAG, cid, value), group=participants)
+        self._record_decision(cid, value)
+
+    def _record_decision(self, cid: Hashable, value: Any) -> None:
+        if cid in self._decisions:
+            return
+        self._decisions[cid] = value
+        instance = self._instances.get(cid)
+        if instance is not None:
+            instance.mark_decided(value)
+        self._buffered.pop(cid, None)
+        for listener in list(self._decision_listeners):
+            listener(cid, value)
+
+    # ------------------------------------------------------------------ suspicions
+
+    def _on_suspicion_change(self, pid: int, suspected: bool) -> None:
+        for instance in list(self._instances.values()):
+            if not instance.decided:
+                instance.on_suspicion_change(pid, suspected)

@@ -1,0 +1,205 @@
+"""The *FD algorithm*: Chandra-Toueg atomic broadcast.
+
+A-broadcast(m) reliable-broadcasts ``m`` to all processes.  Delivery order is
+decided by a sequence of consensus instances numbered 1, 2, ...; the initial
+value and the decision of each instance is a set of message identifiers.  The
+messages decided by instance ``k`` are A-delivered before those of instance
+``k + 1`` and, within an instance, in the deterministic order of their
+identifiers.
+
+Two practical details follow the paper:
+
+* **Aggregation** -- all the messages pending when an instance starts are
+  proposed together, so one consensus execution can order many messages (this
+  is what keeps the algorithm usable under high load).
+* **Coordinator re-numbering** (optional, on by default) -- the proposal is
+  tagged with the identifier of the proposing process; once an instance
+  decides, every process rotates the coordinator order of subsequent
+  instances so that the decided proposer becomes the round-1 coordinator.
+  This makes crashed processes stop being coordinators after a crash, which
+  is the optimisation Section 7 of the paper describes for the crash-steady
+  scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.consensus import ConsensusService
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.types import AtomicBroadcast, BroadcastID
+from repro.sim.process import SimProcess
+
+_DATA_TAG = "AB_DATA"
+
+
+class FDAtomicBroadcast(AtomicBroadcast):
+    """Chandra-Toueg atomic broadcast over unreliable failure detectors."""
+
+    protocol = "abcast"
+
+    def __init__(
+        self,
+        process: SimProcess,
+        rbcast: ReliableBroadcast,
+        consensus: ConsensusService,
+        renumber_coordinators: bool = True,
+        pipeline_depth: int = 2,
+    ) -> None:
+        super().__init__(process)
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        self.rbcast = rbcast
+        self.consensus = consensus
+        self.renumber_coordinators = renumber_coordinators
+        #: Maximum number of consensus instances allowed in flight at once.
+        #: 1 reproduces the strictly sequential textbook behaviour; 2 (the
+        #: default) lets a new instance start while the previous one is still
+        #: deciding, which is what keeps the transient latency after a crash
+        #: down to a single recovery.
+        self.pipeline_depth = pipeline_depth
+        self.participants: Tuple[int, ...] = tuple(range(process.network.n))
+
+        self._payloads: Dict[BroadcastID, Any] = {}
+        self._rb_uid_of: Dict[BroadcastID, Tuple[int, int]] = {}
+        self._pending: Set[BroadcastID] = set()
+        self._ordered: Set[BroadcastID] = set()
+        self._decisions: Dict[int, Tuple[int, Tuple[BroadcastID, ...]]] = {}
+        self._last_decided = 0
+        self._next_delivery = 1
+        self._highest_proposed = 0
+        self._inflight_proposals: Dict[int, Set[BroadcastID]] = {}
+        #: Diagnostics: number of consensus instances this process proposed in.
+        self.consensus_started = 0
+
+        rbcast.add_listener(self._on_rbcast_delivery)
+        consensus.add_decision_listener(self._on_decision)
+        consensus.add_unknown_instance_listener(self._on_unknown_instance)
+
+    # ------------------------------------------------------------------ API
+
+    def broadcast(self, payload: Any) -> BroadcastID:
+        """A-broadcast ``payload`` to all processes."""
+        broadcast_id = self._next_broadcast_id()
+        self._notify_broadcast(broadcast_id, payload)
+        self.rbcast.broadcast((_DATA_TAG, broadcast_id, payload))
+        return broadcast_id
+
+    def on_message(self, sender: int, body: Any) -> None:
+        """The FD algorithm exchanges no messages of its own protocol."""
+        raise RuntimeError(f"unexpected direct message to the FD abcast: {body!r}")
+
+    # ------------------------------------------------------------------ data dissemination
+
+    def _on_rbcast_delivery(self, origin: int, rb_uid: Tuple[int, int], payload: Any) -> None:
+        if not isinstance(payload, tuple) or not payload or payload[0] != _DATA_TAG:
+            return
+        _tag, broadcast_id, data = payload
+        if broadcast_id in self._payloads:
+            return
+        self._payloads[broadcast_id] = data
+        self._rb_uid_of[broadcast_id] = rb_uid
+        if broadcast_id not in self._ordered and not self.has_delivered(broadcast_id):
+            self._pending.add(broadcast_id)
+        self._try_deliver()
+        self._maybe_start_consensus()
+
+    # ------------------------------------------------------------------ consensus plumbing
+
+    def _cid(self, k: int) -> Hashable:
+        return ("ab", k)
+
+    def _unproposed_pending(self) -> Set[BroadcastID]:
+        """Pending messages not already part of one of our in-flight proposals."""
+        claimed: Set[BroadcastID] = set()
+        for ids in self._inflight_proposals.values():
+            claimed.update(ids)
+        return self._pending - claimed
+
+    def _maybe_start_consensus(self) -> None:
+        while True:
+            k = self._highest_proposed + 1
+            if k > self._last_decided + self.pipeline_depth:
+                return
+            fresh = self._unproposed_pending()
+            need = bool(fresh) or self.consensus.has_buffered(self._cid(k))
+            if not need:
+                # An empty instance is still worth proposing when other
+                # processes already started a later eligible instance:
+                # consensus numbers must be exhausted in order.
+                need = any(
+                    self.consensus.has_buffered(self._cid(j))
+                    for j in range(k + 1, self._last_decided + self.pipeline_depth + 1)
+                )
+            if not need:
+                return
+            proposal_ids = tuple(sorted(fresh))
+            proposal = (self.pid, proposal_ids)
+            self._highest_proposed = k
+            self._inflight_proposals[k] = set(proposal_ids)
+            self.consensus_started += 1
+            self.consensus.propose(
+                self._cid(k),
+                proposal,
+                participants=self.participants,
+                coordinator_order=self._coordinator_order_for(k),
+            )
+
+    def _coordinator_order_for(self, k: int) -> Tuple[int, ...]:
+        """Coordinator rotation used by instance ``k``.
+
+        With re-numbering enabled, the rotation starts at the proposer whose
+        value was decided by instance ``k - pipeline_depth``: that decision is
+        guaranteed to be known by every process that participates in ``k``
+        (the pipeline never runs further ahead), so all of them use the same
+        rotation.
+        """
+        if not self.renumber_coordinators:
+            return self.participants
+        anchor = k - self.pipeline_depth
+        if anchor < 1 or anchor not in self._decisions:
+            return self.participants
+        return self._rotate_order(self._decisions[anchor][0])
+
+    def _on_unknown_instance(self, cid: Hashable) -> None:
+        if not isinstance(cid, tuple) or len(cid) != 2 or cid[0] != "ab":
+            return
+        if self._highest_proposed < cid[1] <= self._last_decided + self.pipeline_depth:
+            self._maybe_start_consensus()
+
+    def _on_decision(self, cid: Hashable, value: Any) -> None:
+        if not isinstance(cid, tuple) or len(cid) != 2 or cid[0] != "ab":
+            return
+        k = cid[1]
+        proposer, broadcast_ids = value
+        self._decisions[k] = (proposer, tuple(broadcast_ids))
+        self._ordered.update(broadcast_ids)
+        self._pending.difference_update(broadcast_ids)
+        self._inflight_proposals.pop(k, None)
+        while self._last_decided + 1 in self._decisions:
+            self._last_decided += 1
+        self._try_deliver()
+        self._maybe_start_consensus()
+
+    def _rotate_order(self, first: int) -> Tuple[int, ...]:
+        if first not in self.participants:
+            return self.participants
+        index = self.participants.index(first)
+        return self.participants[index:] + self.participants[:index]
+
+    # ------------------------------------------------------------------ delivery
+
+    def _try_deliver(self) -> None:
+        while self._next_delivery in self._decisions:
+            _proposer, broadcast_ids = self._decisions[self._next_delivery]
+            missing = [bid for bid in broadcast_ids if bid not in self._payloads]
+            if missing:
+                # Wait for the payloads (they arrive by reliable broadcast); the
+                # delivery loop resumes from _on_rbcast_delivery.
+                return
+            for broadcast_id in sorted(broadcast_ids):
+                if self._deliver(broadcast_id, self._payloads[broadcast_id]):
+                    rb_uid = self._rb_uid_of.get(broadcast_id)
+                    if rb_uid is not None:
+                        self.rbcast.mark_stable(rb_uid)
+            self._next_delivery += 1

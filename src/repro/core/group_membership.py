@@ -1,0 +1,431 @@
+"""Group membership service.
+
+The service maintains the *view* of the group (the ordered list of processes
+currently considered correct) and guarantees that members see the same
+sequence of views, with View Synchrony and Same View Delivery for the atomic
+broadcast built on top of it.
+
+View changes follow the algorithm the paper describes (Section 4.3):
+
+1. a process that suspects a member (or learns of a join request) starts a
+   view change by multicasting a ``VIEW_CHANGE`` message to the members of
+   the current view;
+2. as soon as a process learns about the view change it multicasts its
+   *unstable* messages (``SYNC``);
+3. once it has received the unstable messages from all the members it does
+   not suspect (and from at least a majority), it proposes the pair
+   ``(new membership, union of unstable messages)`` to a consensus instance
+   run among the members of the current view;
+4. when consensus decides ``(P', U')``, every participant first delivers the
+   messages of ``U'`` it has not delivered yet, then installs ``P'`` as the
+   next view.
+
+Correct processes that were wrongly excluded rejoin: they send a join request
+to the members they know of, a member includes them in the next view change,
+and the rejoining process synchronises its state with a state transfer (it
+asks a member for the messages it missed while excluded) before resuming
+normal operation -- exactly the scheme of Section 4.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.consensus import ConsensusService
+from repro.core.types import View
+from repro.sim.process import Component, SimProcess
+
+ViewListener = Callable[[View], None]
+
+_VIEW_CHANGE = "VIEW_CHANGE"
+_SYNC = "SYNC"
+_JOIN_REQ = "JOIN_REQ"
+_VIEW_INSTALL = "VIEW_INSTALL"
+_STATE_REQ = "STATE_REQ"
+_STATE_RESP = "STATE_RESP"
+_NOT_MEMBER = "NOT_MEMBER"
+
+#: Process states.
+MEMBER = "member"
+VIEW_CHANGE_IN_PROGRESS = "view_change"
+EXCLUDED = "excluded"
+JOINING = "joining"
+
+
+class GroupMembership(Component):
+    """Primary-partition group membership (protocol ``"gm"``)."""
+
+    protocol = "gm"
+
+    def __init__(
+        self,
+        process: SimProcess,
+        consensus: ConsensusService,
+        initial_members: Optional[Sequence[int]] = None,
+        join_retry_interval: float = 500.0,
+    ) -> None:
+        super().__init__(process)
+        self.consensus = consensus
+        members = tuple(initial_members) if initial_members is not None else tuple(
+            range(process.network.n)
+        )
+        self._view = View(0, members)
+        self._last_known_view = self._view
+        self._status = MEMBER if self.pid in members else EXCLUDED
+        self.join_retry_interval = join_retry_interval
+
+        self._handler = None  # the atomic broadcast layer (set by set_broadcast_handler)
+        self._view_listeners: List[ViewListener] = []
+
+        # Per-view-change state (reset whenever a view is installed).
+        self._vc_sent = False
+        self._sync_sent = False
+        self._proposed = False
+        self._syncs: Dict[int, Tuple] = {}
+        self._joiners_seen: Set[int] = set()
+
+        self._pending_joins: Set[int] = set()
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._not_member_notified: Set[Tuple[int, int]] = set()
+        self._join_attempts = 0
+        #: Diagnostics: number of views installed by this process.
+        self.views_installed = 0
+
+        consensus.add_decision_listener(self._on_decision)
+
+    # ------------------------------------------------------------------ wiring
+
+    def set_broadcast_handler(self, handler: Any) -> None:
+        """Register the atomic broadcast layer the service flushes/reconfigures.
+
+        The handler must provide ``collect_unstable()``,
+        ``on_view_change_started()``, ``deliver_view_change(entries)``,
+        ``on_view_installed(view)``, ``delivered_log_since(index)``,
+        ``apply_state(entries)`` and the ``delivered_count`` property.
+        """
+        self._handler = handler
+
+    def add_view_listener(self, listener: ViewListener) -> None:
+        """Subscribe to view installations: ``listener(view)``."""
+        self._view_listeners.append(listener)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def view(self) -> View:
+        """The current view (the last view this process installed)."""
+        return self._view
+
+    @property
+    def last_known_view(self) -> View:
+        """The most recent view this process knows of (even if excluded from it)."""
+        return self._last_known_view
+
+    @property
+    def status(self) -> str:
+        """One of ``member``, ``view_change``, ``excluded``, ``joining``."""
+        return self._status
+
+    def is_member(self) -> bool:
+        """Whether this process is currently an operational group member."""
+        return self._status in (MEMBER, VIEW_CHANGE_IN_PROGRESS)
+
+    def is_sequencer(self) -> bool:
+        """Whether this process is the sequencer of the current view."""
+        return self.is_member() and self._view.sequencer == self.pid
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Subscribe to the failure detector and react to existing suspicions.
+
+        Some processes may already be suspected when the component starts
+        (the crash-steady scenario crashes them before time zero); they must
+        be excluded right away, exactly as if the suspicion had been raised
+        after the start.
+        """
+        detector = self.process.failure_detector
+        if detector is not None:
+            detector.add_listener(self._on_suspicion_change)
+            if self._status == MEMBER and any(
+                detector.is_suspected(member)
+                for member in self._view.members
+                if member != self.pid
+            ):
+                self._start_view_change()
+
+    # ------------------------------------------------------------------ failure detector
+
+    def _suspects(self, pid: int) -> bool:
+        detector = self.process.failure_detector
+        return detector is not None and detector.is_suspected(pid)
+
+    def _on_suspicion_change(self, pid: int, suspected: bool) -> None:
+        if suspected:
+            if self._status == MEMBER and pid in self._view.members:
+                self._start_view_change()
+            elif self._status == VIEW_CHANGE_IN_PROGRESS:
+                # A new suspicion may complete the SYNC collection condition.
+                self._maybe_propose()
+        else:
+            if self._status == MEMBER and pid in self._pending_joins:
+                self._start_view_change()
+
+    # ------------------------------------------------------------------ messages
+
+    def on_message(self, sender: int, body: Any) -> None:
+        """Dispatch a group membership message."""
+        kind = body[0]
+        if kind == _VIEW_CHANGE:
+            self._on_view_change_msg(sender, body[1])
+        elif kind == _SYNC:
+            self._on_sync(sender, body[1], body[2], body[3])
+        elif kind == _JOIN_REQ:
+            self._on_join_request(sender)
+        elif kind == _VIEW_INSTALL:
+            self._on_view_install_msg(sender, body[1], body[2])
+        elif kind == _STATE_REQ:
+            self._on_state_request(sender, body[1])
+        elif kind == _STATE_RESP:
+            self._on_state_response(sender, body[1], body[2], body[3])
+        elif kind == _NOT_MEMBER:
+            self._on_not_member(sender, body[1], body[2])
+        else:
+            raise ValueError(f"unexpected group membership message {kind!r}")
+
+    # ------------------------------------------------------------------ view change
+
+    def _start_view_change(self) -> None:
+        if self._status != MEMBER:
+            return
+        self._status = VIEW_CHANGE_IN_PROGRESS
+        if self._handler is not None:
+            self._handler.on_view_change_started()
+        members = list(self._view.members)
+        if not self._vc_sent:
+            self._vc_sent = True
+            self.send(members, (_VIEW_CHANGE, self._view.view_id))
+        self._send_sync()
+
+    def _send_sync(self) -> None:
+        if self._sync_sent:
+            return
+        self._sync_sent = True
+        unstable = ()
+        if self._handler is not None:
+            unstable = tuple(self._handler.collect_unstable())
+        joiners = tuple(sorted(j for j in self._pending_joins if not self._suspects(j)))
+        self.send(list(self._view.members), (_SYNC, self._view.view_id, unstable, joiners))
+
+    def _on_view_change_msg(self, sender: int, view_id: int) -> None:
+        if view_id != self._view.view_id or not self.is_member():
+            if view_id > self._view.view_id:
+                self._future.setdefault(view_id, []).append((sender, (_VIEW_CHANGE, view_id)))
+            return
+        if self._status == MEMBER:
+            self._start_view_change()
+
+    def _on_sync(self, sender: int, view_id: int, entries: Tuple, joiners: Tuple) -> None:
+        if view_id != self._view.view_id or not self.is_member():
+            if view_id > self._view.view_id:
+                self._future.setdefault(view_id, []).append(
+                    (sender, (_SYNC, view_id, entries, joiners))
+                )
+            return
+        if self._status == MEMBER:
+            self._start_view_change()
+        self._syncs[sender] = entries
+        self._joiners_seen.update(joiners)
+        self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if self._status != VIEW_CHANGE_IN_PROGRESS or self._proposed:
+            return
+        view = self._view
+        missing = [
+            member
+            for member in view.members
+            if member not in self._syncs and not self._suspects(member)
+        ]
+        if missing:
+            return
+        if len(self._syncs) < view.majority():
+            return
+        self._proposed = True
+        survivors = tuple(m for m in view.members if m in self._syncs)
+        joiners = tuple(
+            sorted(
+                j
+                for j in (self._joiners_seen | self._pending_joins)
+                if j not in view.members and not self._suspects(j)
+            )
+        )
+        new_members = survivors + joiners
+        union: Dict = {}
+        for entries in self._syncs.values():
+            for broadcast_id, payload, seqnum in entries:
+                current_payload, current_seqnum = union.get(broadcast_id, (None, None))
+                if current_payload is None:
+                    current_payload = payload
+                if current_seqnum is None:
+                    current_seqnum = seqnum
+                union[broadcast_id] = (current_payload, current_seqnum)
+        unstable = tuple(
+            sorted(
+                ((bid, payload, seqnum) for bid, (payload, seqnum) in union.items()),
+                key=lambda entry: entry[0],
+            )
+        )
+        value = (self.pid, (new_members, unstable))
+        self.consensus.propose(
+            ("vc", view.view_id),
+            value,
+            participants=view.members,
+            coordinator_order=view.members,
+        )
+
+    def _on_decision(self, cid: Hashable, value: Any) -> None:
+        if not isinstance(cid, tuple) or len(cid) != 2 or cid[0] != "vc":
+            return
+        view_id = cid[1]
+        if view_id != self._view.view_id or not self.is_member():
+            return
+        _proposer, (new_members, unstable) = value
+        if self._handler is not None:
+            self._handler.deliver_view_change(unstable)
+        new_view = View(view_id + 1, tuple(new_members))
+        self._last_known_view = new_view
+        joiners = [m for m in new_members if m not in self._view.members]
+        if self.pid in new_members:
+            self._install_view(new_view, notify_joiners=joiners)
+        else:
+            self._become_excluded(new_view)
+
+    def _install_view(self, view: View, notify_joiners: Sequence[int] = ()) -> None:
+        self._view = view
+        self._last_known_view = view
+        self._status = MEMBER
+        self.views_installed += 1
+        self._reset_view_change_state()
+        self._pending_joins.difference_update(view.members)
+        if self._handler is not None:
+            self._handler.on_view_installed(view)
+        for listener in list(self._view_listeners):
+            listener(view)
+        if notify_joiners and view.sequencer == self.pid:
+            for joiner in notify_joiners:
+                self.send_one(joiner, (_VIEW_INSTALL, view.view_id, view.members))
+        self._replay_future(view.view_id)
+        self._check_pending_triggers()
+
+    def _become_excluded(self, new_view: View) -> None:
+        self._status = EXCLUDED
+        self._reset_view_change_state()
+        self._attempt_join()
+
+    def _reset_view_change_state(self) -> None:
+        self._vc_sent = False
+        self._sync_sent = False
+        self._proposed = False
+        self._syncs = {}
+        self._joiners_seen = set()
+
+    def _replay_future(self, view_id: int) -> None:
+        for sender, body in self._future.pop(view_id, []):
+            self.on_message(sender, body)
+
+    def _check_pending_triggers(self) -> None:
+        if self._status != MEMBER:
+            return
+        suspected_member = any(
+            self._suspects(member) for member in self._view.members if member != self.pid
+        )
+        joinable = any(not self._suspects(j) for j in self._pending_joins)
+        if suspected_member or joinable:
+            self._start_view_change()
+
+    # ------------------------------------------------------------------ stale senders
+
+    def report_stale_sender(self, sender: int, stale_view_id: int) -> None:
+        """Tell ``sender`` it is no longer a member of the current view.
+
+        Called by the atomic broadcast layer when it receives a message
+        tagged with an old view from a process that is not in the current
+        membership: the sender missed its own exclusion (for instance because
+        it was excluded again while still performing a state transfer) and
+        needs to restart the join protocol.
+        """
+        if not self.is_member():
+            return
+        if sender in self._view.members or stale_view_id >= self._view.view_id:
+            return
+        key = (sender, self._view.view_id)
+        if key in self._not_member_notified:
+            return
+        self._not_member_notified.add(key)
+        self.send_one(sender, (_NOT_MEMBER, self._view.view_id, self._view.members))
+
+    def _on_not_member(self, sender: int, view_id: int, members: Tuple[int, ...]) -> None:
+        if view_id <= self._view.view_id or self.pid in members:
+            return
+        if self._status in (EXCLUDED, JOINING):
+            self._last_known_view = View(view_id, tuple(members))
+            return
+        # We believed we were an (old-view) member but the group moved on
+        # without us: fall back to the join protocol.
+        self._status = EXCLUDED
+        self._last_known_view = View(view_id, tuple(members))
+        self._reset_view_change_state()
+        self._attempt_join()
+
+    # ------------------------------------------------------------------ joins
+
+    def _on_join_request(self, sender: int) -> None:
+        if not self.is_member():
+            return
+        if sender in self._view.members:
+            # The joiner is already part of the current view (it probably
+            # missed the VIEW_INSTALL notification): tell it directly.
+            self.send_one(sender, (_VIEW_INSTALL, self._view.view_id, self._view.members))
+            return
+        self._pending_joins.add(sender)
+        if self._status == MEMBER and not self._suspects(sender):
+            self._start_view_change()
+
+    def _attempt_join(self) -> None:
+        if self._status not in (EXCLUDED, JOINING):
+            return
+        self._join_attempts += 1
+        members = [m for m in self._last_known_view.members if m != self.pid]
+        if members:
+            self.send(members, (_JOIN_REQ, self._last_known_view.view_id))
+        self.set_timer(self.join_retry_interval, self._attempt_join)
+
+    def _on_view_install_msg(self, sender: int, view_id: int, members: Tuple[int, ...]) -> None:
+        if self._status not in (EXCLUDED, JOINING):
+            return
+        if view_id <= self._view.view_id or self.pid not in members:
+            return
+        self._status = JOINING
+        self._last_known_view = View(view_id, tuple(members))
+        delivered = self._handler.delivered_count if self._handler is not None else 0
+        self.send_one(sender, (_STATE_REQ, delivered))
+
+    def _on_state_request(self, sender: int, since: int) -> None:
+        if not self.is_member() or self._handler is None:
+            return
+        entries = tuple(self._handler.delivered_log_since(since))
+        self.send_one(
+            sender, (_STATE_RESP, self._view.view_id, self._view.members, entries)
+        )
+
+    def _on_state_response(
+        self, sender: int, view_id: int, members: Tuple[int, ...], entries: Tuple
+    ) -> None:
+        if self._status != JOINING:
+            return
+        if self.pid not in members or view_id <= self._view.view_id:
+            return
+        if self._handler is not None:
+            self._handler.apply_state(entries)
+        self._install_view(View(view_id, tuple(members)))

@@ -1,0 +1,106 @@
+"""Efficient reliable broadcast.
+
+The algorithm is the lazy one the paper refers to (inspired by Frolund and
+Pedone's *Revisiting reliable broadcast*): the origin simply multicasts the
+message, which costs one broadcast in the common case.  To tolerate a crash
+of the origin, every process keeps delivered messages that are not yet known
+to be *stable* and relays them to the whole group as soon as its failure
+detector suspects the origin.  Clients mark messages stable (for instance
+once the corresponding atomic broadcast has been delivered, or once the
+corresponding consensus instance has decided) to bound the relay buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.process import Component, SimProcess
+
+RBListener = Callable[[int, Tuple[int, int], Any], None]
+
+_MSG = "RB"
+
+
+class ReliableBroadcast(Component):
+    """Reliable broadcast component (protocol name ``"rbcast"``)."""
+
+    protocol = "rbcast"
+
+    def __init__(self, process: SimProcess, group: Optional[Sequence[int]] = None) -> None:
+        super().__init__(process)
+        n = process.network.n
+        #: Default destination group of :meth:`broadcast`.
+        self.group: Tuple[int, ...] = tuple(group) if group is not None else tuple(range(n))
+        self._listeners: List[RBListener] = []
+        self._local_seq = 0
+        self._delivered: set = set()
+        # Delivered-but-not-stable messages kept for relaying, keyed by rb uid.
+        self._unstable: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...], Any]] = {}
+        self._relayed_for: set = set()
+        #: Diagnostic counter: number of relayed messages.
+        self.relays = 0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Subscribe to the failure detector to relay on suspicion."""
+        detector = self.process.failure_detector
+        if detector is not None:
+            detector.add_listener(self._on_suspicion_change)
+
+    # ------------------------------------------------------------------ API
+
+    def add_listener(self, listener: RBListener) -> None:
+        """Subscribe to R-deliveries: ``listener(origin, rb_uid, payload)``."""
+        self._listeners.append(listener)
+
+    def broadcast(self, payload: Any, group: Optional[Sequence[int]] = None) -> Tuple[int, int]:
+        """R-broadcast ``payload`` to ``group`` (defaults to the full group).
+
+        Returns the reliable-broadcast uid ``(origin, seq)``.  The origin is
+        always part of the destination set so it R-delivers its own message.
+        """
+        self._local_seq += 1
+        rb_uid = (self.pid, self._local_seq)
+        destinations = tuple(group) if group is not None else self.group
+        if self.pid not in destinations:
+            destinations = destinations + (self.pid,)
+        self.send(destinations, (_MSG, rb_uid, self.pid, destinations, payload))
+        return rb_uid
+
+    def mark_stable(self, rb_uid: Tuple[int, int]) -> None:
+        """Drop ``rb_uid`` from the relay buffer (it is known to be stable)."""
+        self._unstable.pop(rb_uid, None)
+
+    def unstable_count(self) -> int:
+        """Number of messages currently held for potential relaying."""
+        return len(self._unstable)
+
+    # ------------------------------------------------------------------ messages
+
+    def on_message(self, sender: int, body: Any) -> None:
+        """Handle an incoming reliable broadcast (original or relayed)."""
+        tag, rb_uid, origin, destinations, payload = body
+        if tag != _MSG:
+            raise ValueError(f"unexpected reliable broadcast message {tag!r}")
+        if rb_uid in self._delivered:
+            return
+        self._delivered.add(rb_uid)
+        self._unstable[rb_uid] = (origin, tuple(destinations), payload)
+        for listener in list(self._listeners):
+            listener(origin, rb_uid, payload)
+
+    # ------------------------------------------------------------------ relaying
+
+    def _on_suspicion_change(self, pid: int, suspected: bool) -> None:
+        if not suspected:
+            return
+        self._relay_messages_from(pid)
+
+    def _relay_messages_from(self, origin: int) -> None:
+        for rb_uid, (msg_origin, destinations, payload) in list(self._unstable.items()):
+            if msg_origin != origin or rb_uid in self._relayed_for:
+                continue
+            self._relayed_for.add(rb_uid)
+            self.relays += 1
+            self.send(destinations, (_MSG, rb_uid, msg_origin, destinations, payload))

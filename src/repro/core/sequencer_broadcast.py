@@ -1,0 +1,464 @@
+"""The *GM algorithm*: fixed-sequencer uniform atomic broadcast.
+
+Normal operation in a view (Fig. 1 of the paper):
+
+1. the sender multicasts the message ``m`` to the members of the view;
+2. the sequencer (the first member of the view) assigns a sequence number to
+   ``m`` and multicasts it (``seqnum``);
+3. every non-sequencer process that has both ``m`` and its sequence number
+   acknowledges to the sequencer;
+4. the sequencer waits for acknowledgements from a majority of the view,
+   A-delivers ``m``, and multicasts a ``deliver`` message;
+5. the other processes A-deliver ``m`` when they receive ``deliver``.
+
+The ``seqnum``, ``ack`` and ``deliver`` messages carry *batches* of sequence
+numbers: the sequencer orders, at once, every message that arrived while the
+previous batch was in flight.  This is the aggregation mechanism the paper
+highlights as essential under high load, and it makes the message pattern of
+the GM algorithm identical to that of the FD algorithm in suspicion-free
+runs.
+
+Reconfiguration is delegated to :class:`repro.core.group_membership.GroupMembership`:
+when a view change starts the broadcast layer freezes, hands over its
+unstable messages, delivers the decided union before the new view is
+installed, and restarts cleanly (resending its own not-yet-delivered
+messages) in the new view.
+
+The non-uniform variant discussed in Section 8 of the paper is available by
+constructing the component with ``uniform=False``: processes then A-deliver
+as soon as they know a message and its sequence number, skipping the
+acknowledgement and deliver steps (two multicasts in total).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.group_membership import GroupMembership
+from repro.core.types import AtomicBroadcast, BroadcastID, View
+from repro.sim.process import SimProcess
+
+_DATA = "DATA"
+_SEQ = "SEQ"
+_ACK = "ACK"
+_DELIVER = "DELIVER"
+_RETR_REQ = "RETR_REQ"
+_RETR_RESP = "RETR_RESP"
+
+
+class SequencerAtomicBroadcast(AtomicBroadcast):
+    """Fixed-sequencer atomic broadcast reconfigured by group membership."""
+
+    protocol = "abcast"
+
+    def __init__(
+        self,
+        process: SimProcess,
+        membership: GroupMembership,
+        uniform: bool = True,
+        pipeline_depth: int = 2,
+    ) -> None:
+        super().__init__(process)
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        self.membership = membership
+        self.uniform = uniform
+        #: Maximum number of batches the sequencer keeps in flight; mirrors
+        #: the consensus pipeline depth of the FD algorithm so both algorithms
+        #: generate the same message pattern under the same arrival pattern.
+        self.pipeline_depth = pipeline_depth
+        membership.set_broadcast_handler(self)
+
+        self._payloads: Dict[BroadcastID, Any] = {}
+        # Messages this process A-broadcast and has not seen delivered yet;
+        # they are (re)multicast whenever a new view is installed.
+        self._own_pending: Dict[BroadcastID, Any] = {}
+        self._frozen = False
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+
+        # Per-view state (reset by _reset_view_state).
+        self._view_id = membership.view.view_id
+        self._seq_counter = 0
+        self._batch_counter = 0
+        self._unsequenced: List[BroadcastID] = []
+        self._outstanding: Set[int] = set()
+        self._ready_batches: Set[int] = set()
+        self._next_batch_to_complete = 1
+        self._batch_entries: Dict[int, Tuple[Tuple[int, BroadcastID], ...]] = {}
+        self._batch_acks: Dict[int, Set[int]] = {}
+        self._batch_delivered: Set[int] = set()
+        self._deliverable: Set[int] = set()
+        self._acked_batches: Set[int] = set()
+        self._next_batch_to_deliver = 1
+        self._assignments: Dict[BroadcastID, int] = {}
+        self._unstable: Dict[BroadcastID, Optional[int]] = {}
+        self._stable_watermark = 0
+        self._batch_of: Dict[BroadcastID, int] = {}
+        self._requested_retransmit: Set[BroadcastID] = set()
+
+        #: Diagnostics.
+        self.batches_sequenced = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def view(self) -> View:
+        """The current view according to the membership service."""
+        return self.membership.view
+
+    def _members(self) -> Tuple[int, ...]:
+        return self.view.members
+
+    def _other_members(self) -> List[int]:
+        return [m for m in self._members() if m != self.pid]
+
+    def _is_sequencer(self) -> bool:
+        return self.membership.is_sequencer()
+
+    def _sequencer(self) -> int:
+        return self.view.sequencer
+
+    def _operational(self) -> bool:
+        return self.membership.is_member() and not self._frozen
+
+    # ------------------------------------------------------------------ API
+
+    def broadcast(self, payload: Any) -> BroadcastID:
+        """A-broadcast ``payload`` to the group."""
+        broadcast_id = self._next_broadcast_id()
+        self._notify_broadcast(broadcast_id, payload)
+        self._payloads[broadcast_id] = payload
+        self._own_pending[broadcast_id] = payload
+        if self._operational():
+            self.send(list(self._members()), (_DATA, self._view_id, broadcast_id, payload))
+        # Otherwise the message is buffered and multicast when the next view
+        # is installed (or when this process rejoins the group).
+        return broadcast_id
+
+    # ------------------------------------------------------------------ message dispatch
+
+    def on_message(self, sender: int, body: Any) -> None:
+        """Dispatch a sequencer-broadcast protocol message."""
+        kind = body[0]
+        view_id = body[1]
+        if kind == _DATA:
+            # Payloads are always worth recording, whatever the view.
+            self._record_payload(body[2], body[3])
+        if view_id > self._view_id:
+            self._future.setdefault(view_id, []).append((sender, body))
+            return
+        if view_id < self._view_id:
+            if sender not in self._members():
+                self.membership.report_stale_sender(sender, view_id)
+            return
+        if not self.membership.is_member():
+            return
+        if self._frozen and kind in (_SEQ, _ACK, _DELIVER):
+            # During a view change the protocol is frozen; everything is
+            # reconciled through the view-change delivery set.
+            return
+
+        if kind == _DATA:
+            self._on_data(sender, body[2], body[3])
+        elif kind == _SEQ:
+            self._on_seq(sender, body[2], body[3], body[4])
+        elif kind == _ACK:
+            self._on_ack(sender, body[2])
+        elif kind == _DELIVER:
+            self._on_deliver(sender, body[2], body[3])
+        elif kind == _RETR_REQ:
+            self._on_retransmit_request(sender, body[2])
+        elif kind == _RETR_RESP:
+            self._on_retransmit_response(sender, body[2])
+        else:
+            raise ValueError(f"unexpected sequencer broadcast message {kind!r}")
+
+    # ------------------------------------------------------------------ data / sequencing
+
+    def _record_payload(self, broadcast_id: BroadcastID, payload: Any) -> None:
+        if payload is None:
+            return
+        if broadcast_id not in self._payloads:
+            self._payloads[broadcast_id] = payload
+
+    def _on_data(self, sender: int, broadcast_id: BroadcastID, payload: Any) -> None:
+        self._record_payload(broadcast_id, payload)
+        if broadcast_id not in self._unstable and not self.has_delivered(broadcast_id):
+            self._unstable.setdefault(broadcast_id, self._assignments.get(broadcast_id))
+        if self._is_sequencer():
+            if (
+                broadcast_id not in self._assignments
+                and not self.has_delivered(broadcast_id)
+                and broadcast_id not in self._unsequenced
+            ):
+                self._unsequenced.append(broadcast_id)
+            self._maybe_start_batch()
+        else:
+            # A payload that was missing for a known batch may now unblock an
+            # acknowledgement or a delivery.
+            self._try_ack_known_batches()
+            self._try_deliver_batches()
+
+    def _maybe_start_batch(self) -> None:
+        if not self._is_sequencer() or not self._operational():
+            return
+        if self.uniform and len(self._outstanding) >= self.pipeline_depth:
+            return
+        if not self._unsequenced:
+            return
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        entries = []
+        for broadcast_id in self._unsequenced:
+            self._seq_counter += 1
+            entries.append((self._seq_counter, broadcast_id))
+            self._assignments[broadcast_id] = self._seq_counter
+            self._unstable[broadcast_id] = self._seq_counter
+            self._batch_of[broadcast_id] = batch_id
+        self._unsequenced = []
+        entries = tuple(entries)
+        self._batch_entries[batch_id] = entries
+        self._batch_acks[batch_id] = {self.pid}
+        self.batches_sequenced += 1
+        others = self._other_members()
+        if others:
+            self.send(others, (_SEQ, self._view_id, batch_id, entries, self._stable_watermark))
+        if self.uniform:
+            self._outstanding.add(batch_id)
+            self._maybe_complete_batch(batch_id)
+        else:
+            # Non-uniform variant: deliver as soon as the order is fixed.
+            self._deliver_batch(batch_id)
+            self._maybe_start_batch()
+
+    def _on_seq(
+        self,
+        sender: int,
+        batch_id: int,
+        entries: Tuple[Tuple[int, BroadcastID], ...],
+        watermark: int,
+    ) -> None:
+        if sender != self._sequencer():
+            return
+        if batch_id not in self._batch_entries:
+            self._batch_entries[batch_id] = tuple(entries)
+            for seqnum, broadcast_id in entries:
+                self._assignments[broadcast_id] = seqnum
+                self._batch_of[broadcast_id] = batch_id
+                if not self.has_delivered(broadcast_id):
+                    self._unstable[broadcast_id] = seqnum
+        self._apply_stability(watermark)
+        if self.uniform:
+            self._try_ack_known_batches()
+        else:
+            self._deliverable.add(batch_id)
+            self._try_deliver_batches()
+
+    def _try_ack_known_batches(self) -> None:
+        if self._is_sequencer() or not self.uniform or not self._operational():
+            return
+        for batch_id in sorted(self._batch_entries):
+            if batch_id in self._acked_batches:
+                continue
+            entries = self._batch_entries[batch_id]
+            missing = [bid for _seq, bid in entries if bid not in self._payloads]
+            if missing:
+                self._request_retransmit(missing)
+                continue
+            self._acked_batches.add(batch_id)
+            self.send_one(self._sequencer(), (_ACK, self._view_id, batch_id))
+
+    def _on_ack(self, sender: int, batch_id: int) -> None:
+        if not self._is_sequencer():
+            return
+        acks = self._batch_acks.setdefault(batch_id, set())
+        acks.add(sender)
+        self._update_stability()
+        self._maybe_complete_batch(batch_id)
+
+    def _maybe_complete_batch(self, batch_id: int) -> None:
+        if not self.uniform or batch_id not in self._outstanding:
+            return
+        acks = self._batch_acks.get(batch_id, set())
+        members = set(self._members())
+        if len(acks & members) < self.view.majority():
+            return
+        self._ready_batches.add(batch_id)
+        # Batches are completed strictly in order so that every process
+        # A-delivers in the sequence-number order.
+        while self._next_batch_to_complete in self._ready_batches:
+            completing = self._next_batch_to_complete
+            self._deliver_batch(completing)
+            others = self._other_members()
+            if others:
+                self.send(
+                    others, (_DELIVER, self._view_id, completing, self._stable_watermark)
+                )
+            self._outstanding.discard(completing)
+            self._ready_batches.discard(completing)
+            self._next_batch_to_complete += 1
+        self._maybe_start_batch()
+
+    def _on_deliver(self, sender: int, batch_id: int, watermark: int) -> None:
+        if sender != self._sequencer():
+            return
+        self._deliverable.add(batch_id)
+        self._apply_stability(watermark)
+        self._try_deliver_batches()
+
+    # ------------------------------------------------------------------ delivery
+
+    def _deliver_batch(self, batch_id: int) -> None:
+        entries = self._batch_entries.get(batch_id, ())
+        for _seqnum, broadcast_id in sorted(entries):
+            payload = self._payloads.get(broadcast_id)
+            self._deliver_message(broadcast_id, payload)
+        self._batch_delivered.add(batch_id)
+
+    def _try_deliver_batches(self) -> None:
+        while True:
+            batch_id = self._next_batch_to_deliver
+            if self._is_sequencer() and self.uniform:
+                # The sequencer delivers through _maybe_complete_batch.
+                return
+            if batch_id not in self._deliverable or batch_id not in self._batch_entries:
+                return
+            entries = self._batch_entries[batch_id]
+            missing = [bid for _seq, bid in entries if bid not in self._payloads]
+            if missing:
+                self._request_retransmit(missing)
+                return
+            self._deliver_batch(batch_id)
+            self._next_batch_to_deliver = batch_id + 1
+
+    def _deliver_message(self, broadcast_id: BroadcastID, payload: Any) -> None:
+        if self._deliver(broadcast_id, payload):
+            self._own_pending.pop(broadcast_id, None)
+
+    # ------------------------------------------------------------------ retransmissions
+
+    def _request_retransmit(self, broadcast_ids: Iterable[BroadcastID]) -> None:
+        missing = tuple(
+            bid for bid in broadcast_ids if bid not in self._requested_retransmit
+        )
+        if not missing or self._is_sequencer():
+            return
+        self._requested_retransmit.update(missing)
+        self.send_one(self._sequencer(), (_RETR_REQ, self._view_id, missing))
+
+    def _on_retransmit_request(self, sender: int, broadcast_ids: Tuple[BroadcastID, ...]) -> None:
+        entries = tuple(
+            (bid, self._payloads[bid]) for bid in broadcast_ids if bid in self._payloads
+        )
+        if entries:
+            self.send_one(sender, (_RETR_RESP, self._view_id, entries))
+
+    def _on_retransmit_response(self, sender: int, entries: Tuple) -> None:
+        for broadcast_id, payload in entries:
+            self._record_payload(broadcast_id, payload)
+        self._try_ack_known_batches()
+        self._try_deliver_batches()
+
+    # ------------------------------------------------------------------ stability
+
+    def _update_stability(self) -> None:
+        """Advance the stable watermark: batches acknowledged by all members."""
+        members = set(self._members())
+        watermark = self._stable_watermark
+        while True:
+            next_batch = watermark + 1
+            if next_batch not in self._batch_entries:
+                break
+            acks = self._batch_acks.get(next_batch, set())
+            if not members.issubset(acks):
+                break
+            watermark = next_batch
+        if watermark != self._stable_watermark:
+            self._stable_watermark = watermark
+            self._apply_stability(watermark)
+
+    def _apply_stability(self, watermark: int) -> None:
+        if watermark <= 0:
+            return
+        self._stable_watermark = max(self._stable_watermark, watermark)
+        for broadcast_id in list(self._unstable):
+            batch = self._batch_of.get(broadcast_id)
+            if batch is not None and batch <= self._stable_watermark:
+                del self._unstable[broadcast_id]
+
+    # ------------------------------------------------------------------ group membership hooks
+
+    def collect_unstable(self) -> Tuple[Tuple[BroadcastID, Any, Optional[int]], ...]:
+        """Unstable messages of the current view, as (id, payload, seqnum)."""
+        entries = []
+        for broadcast_id, seqnum in sorted(self._unstable.items()):
+            payload = self._payloads.get(broadcast_id)
+            if payload is None:
+                # Never advertise a message we cannot provide the payload of.
+                continue
+            entries.append((broadcast_id, payload, seqnum))
+        return tuple(entries)
+
+    def on_view_change_started(self) -> None:
+        """Freeze normal operation while the view change runs."""
+        self._frozen = True
+
+    def deliver_view_change(self, entries: Tuple) -> None:
+        """Deliver the decided union of unstable messages (view synchrony)."""
+        with_seqnum = sorted(
+            (entry for entry in entries if entry[2] is not None), key=lambda e: e[2]
+        )
+        without_seqnum = sorted(
+            (entry for entry in entries if entry[2] is None), key=lambda e: e[0]
+        )
+        for broadcast_id, payload, _seqnum in list(with_seqnum) + list(without_seqnum):
+            self._record_payload(broadcast_id, payload)
+            known_payload = self._payloads.get(broadcast_id, payload)
+            if known_payload is None:
+                continue
+            self._deliver_message(broadcast_id, known_payload)
+
+    def on_view_installed(self, view: View) -> None:
+        """Reset the per-view protocol state and restart in ``view``."""
+        self._view_id = view.view_id
+        self._frozen = False
+        self._seq_counter = 0
+        self._batch_counter = 0
+        self._unsequenced = []
+        self._outstanding = set()
+        self._ready_batches = set()
+        self._next_batch_to_complete = 1
+        self._batch_entries = {}
+        self._batch_acks = {}
+        self._batch_delivered = set()
+        self._deliverable = set()
+        self._acked_batches = set()
+        self._next_batch_to_deliver = 1
+        self._assignments = {}
+        self._unstable = {}
+        self._stable_watermark = 0
+        self._batch_of = {}
+        self._requested_retransmit = set()
+        # Re-multicast our own messages that are not delivered yet: they may
+        # have been lost in the view change (or never sent if we were frozen
+        # or excluded when they were A-broadcast).
+        if self.membership.is_member():
+            for broadcast_id, payload in sorted(self._own_pending.items()):
+                self.send(
+                    list(view.members), (_DATA, self._view_id, broadcast_id, payload)
+                )
+        self._replay_future(view.view_id)
+
+    def delivered_log_since(self, index: int) -> Tuple[Tuple[BroadcastID, Any], ...]:
+        """Suffix of the delivery log, used to answer state transfer requests."""
+        return tuple(self.delivered[index:])
+
+    def apply_state(self, entries: Tuple) -> None:
+        """Apply a state transfer: deliver every missed message in order."""
+        for broadcast_id, payload in entries:
+            self._record_payload(broadcast_id, payload)
+            self._deliver_message(broadcast_id, payload)
+
+    def _replay_future(self, view_id: int) -> None:
+        for sender, body in self._future.pop(view_id, []):
+            self.on_message(sender, body)

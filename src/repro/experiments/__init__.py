@@ -1,0 +1,28 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+Each ``figure*`` module exposes a ``run(quick=...)`` function returning a
+:class:`~repro.experiments.series.FigureResult` and the shared
+:mod:`repro.experiments.report` module renders the results as text tables
+(the same rows/series the paper plots).
+
+Quick mode uses fewer messages and fewer runs per point so the whole suite
+finishes on a laptop; full mode uses parameters closer to the paper's
+(smaller confidence intervals, same shapes).
+"""
+
+from repro.experiments.series import FigurePoint, FigureResult, Series
+from repro.experiments import figure4, figure5, figure6, figure7, figure8
+from repro.experiments.report import format_figure, format_markdown_table
+
+__all__ = [
+    "FigurePoint",
+    "FigureResult",
+    "Series",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_figure",
+    "format_markdown_table",
+]

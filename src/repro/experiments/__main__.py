@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate the paper's figures as text tables.
+
+Examples::
+
+    python -m repro.experiments --figure 4 --quick
+    python -m repro.experiments --figure all --full --markdown -o results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments import figure4, figure5, figure6, figure7, figure8
+from repro.experiments.report import format_figure, format_markdown_table
+from repro.experiments.shape_checks import ALL_CHECKS
+
+FIGURES = {
+    "4": figure4.run,
+    "5": figure5.run,
+    "6": figure6.run,
+    "7": figure7.run,
+    "8": figure8.run,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    """Run the requested figure experiments and print/write the tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure",
+        default="all",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate (default: all)",
+    )
+    parser.add_argument("--full", action="store_true", help="full-size sweeps (slow)")
+    parser.add_argument("--quick", action="store_true", help="quick sweeps (default)")
+    parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    parser.add_argument("--check", action="store_true", help="also print the shape checks")
+    parser.add_argument("-o", "--output", default=None, help="write the report to a file")
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+
+    sections: List[str] = []
+    for name in names:
+        started = time.time()
+        result = FIGURES[name](quick=quick, seed=args.seed)
+        elapsed = time.time() - started
+        renderer = format_markdown_table if args.markdown else format_figure
+        sections.append(renderer(result))
+        sections.append(f"(figure {name} regenerated in {elapsed:.1f} s)")
+        if args.check:
+            checks: Dict[str, bool] = ALL_CHECKS[name](result)
+            for key, ok in sorted(checks.items()):
+                sections.append(f"  check {key}: {'PASS' if ok else 'FAIL'}")
+        sections.append("")
+
+    report = "\n".join(sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

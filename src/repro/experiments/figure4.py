@@ -1,0 +1,56 @@
+"""Figure 4: latency vs throughput in the normal-steady scenario.
+
+The paper's result: the two algorithms have *the same* performance when
+neither crashes nor suspicions occur (they generate the same message
+exchange), latency grows with the throughput and with the number of
+processes, and the system saturates around 700 messages/s for λ = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.helpers import (
+    algorithm_label,
+    base_config,
+    default_throughputs,
+    point_from_scenario,
+)
+from repro.experiments.series import FigureResult, Series
+from repro.scenarios.steady import run_normal_steady
+
+#: Number of measured messages per point.
+QUICK_MESSAGES = 150
+FULL_MESSAGES = 600
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    n_values: Iterable[int] = (3, 7),
+    algorithms: Iterable[str] = ("fd", "gm"),
+    throughputs: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+) -> FigureResult:
+    """Regenerate Figure 4."""
+    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
+    figure = FigureResult(
+        figure="4",
+        title="Latency vs throughput, normal-steady scenario",
+        x_label="throughput [1/s]",
+        y_label="min latency [ms]",
+    )
+    for n in n_values:
+        sweep = list(throughputs) if throughputs is not None else default_throughputs(n, quick)
+        for algorithm in algorithms:
+            series = Series(label=f"{algorithm_label(algorithm)}, n={n}", params={"n": n})
+            for throughput in sweep:
+                config = base_config(algorithm, n, seed)
+                result = run_normal_steady(config, throughput, num_messages=messages)
+                series.add(point_from_scenario(throughput, result))
+            figure.add_series(series)
+    figure.notes.append(
+        "Expected shape: the FD and GM curves coincide for each n; latency "
+        "grows with the throughput and with n."
+    )
+    return figure

@@ -1,0 +1,84 @@
+"""Figure 5: latency vs throughput in the crash-steady scenario.
+
+The paper's result: latency decreases as more processes crash (crashed
+processes stop loading the network); the GM algorithm is slightly better
+than the FD algorithm for the same number of crashes because the sequencer
+waits for acknowledgements from a majority of a *smaller* view.  Following
+the paper, the crashed processes are non-coordinator processes (the
+coordinator re-numbering optimisation makes the steady state independent of
+which processes crashed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.helpers import (
+    algorithm_label,
+    base_config,
+    default_throughputs,
+    point_from_scenario,
+)
+from repro.experiments.series import FigureResult, Series
+from repro.scenarios.steady import run_crash_steady, run_normal_steady
+
+QUICK_MESSAGES = 150
+FULL_MESSAGES = 500
+
+#: Crash counts plotted per system size (as in the paper).
+CRASH_COUNTS: Dict[int, Tuple[int, ...]] = {3: (0, 1), 7: (0, 1, 2, 3)}
+
+
+def crashed_processes(n: int, count: int) -> Tuple[int, ...]:
+    """The ``count`` highest-numbered (non-coordinator) processes."""
+    return tuple(range(n - count, n))
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    n_values: Iterable[int] = (3, 7),
+    algorithms: Iterable[str] = ("fd", "gm"),
+    throughputs: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+) -> FigureResult:
+    """Regenerate Figure 5."""
+    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
+    figure = FigureResult(
+        figure="5",
+        title="Latency vs throughput, crash-steady scenario",
+        x_label="throughput [1/s]",
+        y_label="min latency [ms]",
+    )
+    for n in n_values:
+        sweep = list(throughputs) if throughputs is not None else default_throughputs(n, quick)
+        crash_counts = CRASH_COUNTS.get(n, (0, 1))
+        for crashes in crash_counts:
+            crashed = crashed_processes(n, crashes)
+            for algorithm in algorithms:
+                if crashes == 0 and algorithm != "fd":
+                    # With no crash the two algorithms coincide (Fig. 4); the
+                    # paper plots a single "FD and GM, no crash" curve.
+                    continue
+                label = (
+                    f"FD and GM, no crash, n={n}"
+                    if crashes == 0
+                    else f"{algorithm_label(algorithm)}, {crashes} crash(es), n={n}"
+                )
+                series = Series(label=label, params={"n": n, "crashes": crashes})
+                for throughput in sweep:
+                    config = base_config(algorithm, n, seed)
+                    if crashes == 0:
+                        result = run_normal_steady(config, throughput, num_messages=messages)
+                    else:
+                        result = run_crash_steady(
+                            config, throughput, crashed, num_messages=messages
+                        )
+                    series.add(point_from_scenario(throughput, result))
+                figure.add_series(series)
+    figure.notes.append(
+        "Expected shape: latency decreases as more processes crash; for the "
+        "same number of crashes the GM curve is at or below the FD curve "
+        "(the gap grows with n)."
+    )
+    return figure

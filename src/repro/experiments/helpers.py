@@ -1,0 +1,60 @@
+"""Shared helpers of the figure-regeneration experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.series import FigurePoint
+from repro.scenarios.results import ScenarioResult, TransientResult
+from repro.system import SystemConfig
+
+
+def point_from_scenario(x: float, result: ScenarioResult) -> FigurePoint:
+    """Convert a steady-state scenario result into a figure point."""
+    summary = result.summary()
+    return FigurePoint(
+        x=x,
+        mean=summary.mean,
+        ci=summary.ci_halfwidth if summary.count > 1 else 0.0,
+        samples=summary.count,
+        completed=result.completed,
+    )
+
+
+def point_from_transient(x: float, result: TransientResult, overhead: bool = True) -> FigurePoint:
+    """Convert a crash-transient result into a figure point.
+
+    ``overhead=True`` (the paper's choice for Fig. 8) subtracts the detection
+    time from the latency.
+    """
+    summary = result.overhead_summary() if overhead else result.latency_summary()
+    return FigurePoint(
+        x=x,
+        mean=summary.mean,
+        ci=summary.ci_halfwidth if summary.count > 1 else 0.0,
+        samples=summary.count,
+        completed=result.runs > 0,
+    )
+
+
+def base_config(algorithm: str, n: int, seed: int, **overrides) -> SystemConfig:
+    """The system configuration shared by all figures (λ = 1, 1 ms time unit)."""
+    return SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides)
+
+
+def default_throughputs(n: int, quick: bool) -> List[float]:
+    """Throughput sweep (messages/s) used by Figs. 4, 5 and 8.
+
+    The paper sweeps up to roughly the saturation throughput (about 700/s for
+    n = 3 and a little less for n = 7 at λ = 1).
+    """
+    if quick:
+        return [10, 100, 300, 500] if n <= 3 else [10, 100, 300]
+    if n <= 3:
+        return [10, 50, 100, 200, 300, 400, 500, 600, 700]
+    return [10, 50, 100, 200, 300, 400, 500, 600]
+
+
+def algorithm_label(algorithm: str) -> str:
+    """Human-readable label of an algorithm identifier."""
+    return {"fd": "FD", "gm": "GM", "gm-nonuniform": "GM (non-uniform)"}[algorithm]

@@ -1,0 +1,77 @@
+"""Text rendering of figure results (the tables the benchmarks print)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.experiments.series import FigureResult
+
+
+def format_figure(figure: FigureResult) -> str:
+    """Render a figure as a fixed-width text table (one row per x value)."""
+    lines: List[str] = []
+    lines.append(f"Figure {figure.figure}: {figure.title}")
+    lines.append(f"  x = {figure.x_label}; cells = {figure.y_label} (mean ± 95% CI)")
+    if not figure.series:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+
+    xs: List[float] = []
+    for series in figure.series:
+        for x in series.xs():
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+
+    label_width = max(len("x"), *(len(s.label) for s in figure.series))
+    header = "  " + "x".rjust(12) + "  " + "  ".join(
+        s.label.rjust(max(16, len(s.label))) for s in figure.series
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for x in xs:
+        cells = []
+        for series in figure.series:
+            point = series.point_at(x)
+            if point is None:
+                cells.append(" " * max(16, len(series.label)))
+            else:
+                cells.append(point.formatted().rjust(max(16, len(series.label))))
+        lines.append("  " + f"{x:12g}" + "  " + "  ".join(cells))
+    for note in figure.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def format_markdown_table(figure: FigureResult) -> str:
+    """Render a figure as a GitHub-flavoured markdown table."""
+    lines: List[str] = []
+    lines.append(f"**Figure {figure.figure} — {figure.title}**")
+    lines.append("")
+    header = "| " + figure.x_label + " | " + " | ".join(s.label for s in figure.series) + " |"
+    divider = "|" + "---|" * (len(figure.series) + 1)
+    lines.append(header)
+    lines.append(divider)
+
+    xs: List[float] = []
+    for series in figure.series:
+        for x in series.xs():
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    for x in xs:
+        cells = []
+        for series in figure.series:
+            point = series.point_at(x)
+            if point is None:
+                cells.append("")
+            elif not point.completed or math.isnan(point.mean):
+                cells.append("did not complete")
+            else:
+                cells.append(f"{point.mean:.1f} ± {point.ci:.1f}")
+        lines.append("| " + f"{x:g}" + " | " + " | ".join(cells) + " |")
+    lines.append("")
+    for note in figure.notes:
+        lines.append(f"*{note}*")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Failure detector models.
+
+The paper abstracts failure detectors through the quality-of-service (QoS)
+metrics of Chen, Toueg and Aguilera:
+
+* detection time ``T_D`` -- time from the crash of the monitored process to
+  the moment the monitor suspects it permanently,
+* mistake recurrence time ``T_MR`` -- time between two consecutive wrong
+  suspicions of a correct process,
+* mistake duration ``T_M`` -- how long a wrong suspicion lasts.
+
+:class:`QoSFailureDetector` implements exactly this model (constant ``T_D``,
+exponentially distributed ``T_MR`` and ``T_M``, all monitor pairs independent
+and identically distributed).  :class:`PerfectFailureDetector` is the
+degenerate case without mistakes.  :class:`HeartbeatFailureDetector` is a
+concrete, message-based detector provided as an extension: it lets users
+check how implementation parameters (heartbeat period, timeout) map onto the
+QoS metrics.
+"""
+
+from repro.failure_detectors.interface import FailureDetector, SuspicionListener
+from repro.failure_detectors.qos import QoSConfig, QoSFailureDetector, QoSFailureDetectorFabric
+from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
+from repro.failure_detectors.heartbeat import HeartbeatConfig, HeartbeatFailureDetector
+
+__all__ = [
+    "FailureDetector",
+    "HeartbeatConfig",
+    "HeartbeatFailureDetector",
+    "PerfectFailureDetectorFabric",
+    "QoSConfig",
+    "QoSFailureDetector",
+    "QoSFailureDetectorFabric",
+    "SuspicionListener",
+]

@@ -1,0 +1,100 @@
+"""Concrete heartbeat failure detector (extension, not used by the paper).
+
+The paper models failure detectors abstractly through QoS metrics.  This
+module provides a real, message-based detector so users can study how
+implementation parameters (heartbeat period, timeout) translate into the QoS
+metrics (``T_D`` roughly equals ``period + timeout`` in the absence of
+contention) and how the extra heartbeat traffic loads the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.failure_detectors.interface import FailureDetector
+from repro.sim.process import Component, SimProcess
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Parameters of the heartbeat detector.
+
+    Attributes
+    ----------
+    period:
+        Interval between two heartbeats sent by a process.
+    timeout:
+        A process is suspected when no heartbeat arrived for this long.
+    check_interval:
+        How often the monitor re-evaluates its timeouts; defaults to the
+        period.
+    """
+
+    period: float = 10.0
+    timeout: float = 30.0
+    check_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.check_interval < 0:
+            raise ValueError(f"check_interval must be >= 0, got {self.check_interval}")
+
+    @property
+    def effective_check_interval(self) -> float:
+        """The check interval actually used (defaults to ``period``)."""
+        return self.check_interval if self.check_interval > 0 else self.period
+
+
+class HeartbeatFailureDetector(FailureDetector, Component):
+    """A push-style heartbeat failure detector exchanging real messages."""
+
+    protocol = "heartbeat-fd"
+
+    def __init__(self, process: SimProcess, config: HeartbeatConfig) -> None:
+        n = process.network.n
+        FailureDetector.__init__(self, process.pid, range(n))
+        Component.__init__(self, process)
+        self.config = config
+        self._last_heartbeat: Dict[int, float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin emitting heartbeats and checking timeouts."""
+        if self._started:
+            return
+        self._started = True
+        now = self.now
+        for pid in self.monitored:
+            self._last_heartbeat[pid] = now
+        self._emit_heartbeat()
+        self.set_timer(self.config.effective_check_interval, self._check_timeouts)
+
+    # ------------------------------------------------------------------ messages
+
+    def on_message(self, sender: int, body) -> None:
+        """Record the heartbeat and clear any suspicion of the sender."""
+        self._last_heartbeat[sender] = self.now
+        if self.is_suspected(sender):
+            self._set_suspected(sender, False)
+
+    # ------------------------------------------------------------------ timers
+
+    def _emit_heartbeat(self) -> None:
+        destinations = [pid for pid in range(self.process.network.n) if pid != self.pid]
+        if destinations:
+            self.send(destinations, ("HEARTBEAT", self.pid))
+        self.set_timer(self.config.period, self._emit_heartbeat)
+
+    def _check_timeouts(self) -> None:
+        now = self.now
+        for pid in self.monitored:
+            last = self._last_heartbeat.get(pid, 0.0)
+            if now - last > self.config.timeout and not self.is_suspected(pid):
+                self._set_suspected(pid, True)
+        self.set_timer(self.config.effective_check_interval, self._check_timeouts)

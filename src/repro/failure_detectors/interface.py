@@ -1,0 +1,110 @@
+"""Failure detector interface shared by all implementations.
+
+A failure detector is local to one process.  Algorithms query the current
+suspicion state with :meth:`FailureDetector.is_suspected` and subscribe to
+changes with :meth:`FailureDetector.add_listener`; listeners are invoked as
+``listener(pid, suspected)`` whenever the suspicion state of ``pid`` flips.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set
+
+SuspicionListener = Callable[[int, bool], None]
+
+
+class FailureDetector:
+    """Base class holding suspicion state and listener plumbing."""
+
+    def __init__(self, owner_pid: int, monitored: Iterable[int]) -> None:
+        self.owner_pid = owner_pid
+        self._monitored: Set[int] = {pid for pid in monitored if pid != owner_pid}
+        self._suspected: Set[int] = set()
+        self._listeners: List[SuspicionListener] = []
+        #: Counters useful for tests and diagnostics.
+        self.suspicion_events = 0
+        self.trust_events = 0
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def monitored(self) -> Set[int]:
+        """Processes this detector monitors (never includes the owner)."""
+        return set(self._monitored)
+
+    def is_suspected(self, pid: int) -> bool:
+        """Whether ``pid`` is currently suspected by the owner process."""
+        return pid in self._suspected
+
+    def suspected(self) -> Set[int]:
+        """The set of currently suspected processes."""
+        return set(self._suspected)
+
+    def trusted(self) -> Set[int]:
+        """Monitored processes that are currently not suspected."""
+        return self._monitored - self._suspected
+
+    # ------------------------------------------------------------------ listeners
+
+    def add_listener(self, listener: SuspicionListener) -> None:
+        """Subscribe to suspicion-state changes."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: SuspicionListener) -> None:
+        """Unsubscribe a previously added listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------ mutation
+
+    def _set_suspected(self, pid: int, suspected: bool) -> None:
+        """Update the suspicion state of ``pid`` and notify listeners on change."""
+        if pid == self.owner_pid or pid not in self._monitored:
+            return
+        currently = pid in self._suspected
+        if currently == suspected:
+            return
+        if suspected:
+            self._suspected.add(pid)
+            self.suspicion_events += 1
+        else:
+            self._suspected.discard(pid)
+            self.trust_events += 1
+        for listener in list(self._listeners):
+            listener(pid, suspected)
+
+    def force_suspect(self, pid: int) -> None:
+        """Testing hook: mark ``pid`` suspected immediately."""
+        self._set_suspected(pid, True)
+
+    def force_trust(self, pid: int) -> None:
+        """Testing hook: mark ``pid`` trusted immediately."""
+        self._set_suspected(pid, False)
+
+
+class SuspicionLog:
+    """Optional helper recording (time, pid, suspected) transitions."""
+
+    def __init__(self) -> None:
+        self.entries: List[tuple] = []
+
+    def record(self, time: float, pid: int, suspected: bool) -> None:
+        """Append one transition to the log."""
+        self.entries.append((time, pid, suspected))
+
+    def transitions_for(self, pid: int) -> List[tuple]:
+        """All transitions concerning ``pid``."""
+        return [entry for entry in self.entries if entry[1] == pid]
+
+    def mistake_durations(self, pid: int) -> List[float]:
+        """Durations of completed suspicion periods of ``pid``."""
+        durations: List[float] = []
+        start: Dict[int, float] = {}
+        for time, entry_pid, suspected in self.entries:
+            if entry_pid != pid:
+                continue
+            if suspected:
+                start[entry_pid] = time
+            elif entry_pid in start:
+                durations.append(time - start.pop(entry_pid))
+        return durations

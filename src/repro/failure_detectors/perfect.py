@@ -1,0 +1,37 @@
+"""Perfect failure detector: no mistakes, immediate (or delayed) detection.
+
+A convenience wrapper over the QoS fabric with ``T_MR = inf`` and
+``T_M = 0``.  Used extensively by the unit and property tests, and available
+to library users who want to study algorithms under an idealised detector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.failure_detectors.qos import QoSConfig, QoSFailureDetectorFabric
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+
+
+class PerfectFailureDetectorFabric(QoSFailureDetectorFabric):
+    """QoS fabric configured as a perfect detector.
+
+    Crashes are detected exactly ``detection_time`` after they happen and no
+    correct process is ever suspected.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rng: Optional[RandomStreams] = None,
+        detection_time: float = 0.0,
+    ) -> None:
+        config = QoSConfig(
+            detection_time=detection_time,
+            mistake_recurrence_time=float("inf"),
+            mistake_duration=0.0,
+        )
+        super().__init__(sim, network, rng or RandomStreams(0), config)

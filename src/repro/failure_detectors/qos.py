@@ -1,0 +1,192 @@
+"""QoS-model failure detectors (Chen, Toueg, Aguilera).
+
+The fabric owns one :class:`QoSFailureDetector` per process and drives all
+``n * (n - 1)`` monitor pairs directly from the simulation clock, without
+exchanging any messages.  This is the abstraction used by the paper
+(Section 6.2):
+
+* the detection time ``T_D`` is a constant,
+* the mistake recurrence time ``T_MR`` and the mistake duration ``T_M`` are
+  exponentially distributed,
+* all monitor pairs are independent and identically distributed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.failure_detectors.interface import FailureDetector
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """Quality-of-service parameters of the failure detectors.
+
+    Attributes
+    ----------
+    detection_time:
+        ``T_D``: time from a crash to its permanent detection (constant).
+    mistake_recurrence_time:
+        Mean of the exponential ``T_MR``: time between two consecutive wrong
+        suspicions of a correct process.  ``inf`` disables wrong suspicions.
+    mistake_duration:
+        Mean of the exponential ``T_M``: how long a wrong suspicion lasts.
+        Zero produces instantaneous mistakes (suspect and trust back-to-back,
+        which still triggers the algorithms' reactions).
+    """
+
+    detection_time: float = 0.0
+    mistake_recurrence_time: float = INFINITY
+    mistake_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.detection_time < 0:
+            raise ValueError(f"detection_time must be >= 0, got {self.detection_time}")
+        if self.mistake_recurrence_time <= 0:
+            raise ValueError(
+                "mistake_recurrence_time must be > 0 (use inf to disable mistakes), "
+                f"got {self.mistake_recurrence_time}"
+            )
+        if self.mistake_duration < 0:
+            raise ValueError(f"mistake_duration must be >= 0, got {self.mistake_duration}")
+
+    @property
+    def generates_mistakes(self) -> bool:
+        """Whether this configuration produces wrong suspicions at all."""
+        return math.isfinite(self.mistake_recurrence_time)
+
+
+class QoSFailureDetector(FailureDetector):
+    """Per-process failure detector driven by a :class:`QoSFailureDetectorFabric`."""
+
+
+class QoSFailureDetectorFabric:
+    """Creates and drives the QoS failure detectors of every process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rng: RandomStreams,
+        config: QoSConfig,
+        monitored: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self._rng = rng
+        self.config = config
+        n = network.n
+        pids = list(range(n)) if monitored is None else sorted(monitored)
+        self._detectors: Dict[int, QoSFailureDetector] = {
+            pid: QoSFailureDetector(pid, pids) for pid in pids
+        }
+        # Pending events per ordered monitor pair (monitor, monitored).
+        self._pending: Dict[Tuple[int, int], List[EventHandle]] = {}
+        self._crashed: set = set()
+        network.add_crash_listener(self._on_crash)
+
+    # ------------------------------------------------------------------ access
+
+    def detector(self, pid: int) -> QoSFailureDetector:
+        """The failure detector local to process ``pid``."""
+        return self._detectors[pid]
+
+    def detectors(self) -> Dict[int, QoSFailureDetector]:
+        """All detectors, keyed by owner process id."""
+        return dict(self._detectors)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin generating wrong suspicions (call once before the run)."""
+        if not self.config.generates_mistakes:
+            return
+        for monitor in self._detectors:
+            for monitored in self._detectors[monitor].monitored:
+                self._schedule_next_mistake(monitor, monitored)
+
+    def suspect_permanently(self, monitored: int, delay: float = 0.0) -> None:
+        """Make every monitor suspect ``monitored`` permanently after ``delay``.
+
+        Used by the crash-steady scenario where crashes happened long before
+        the measured window: every detector suspects the crashed processes
+        from the very start of the run.
+        """
+        self._crashed.add(monitored)
+        for monitor, detector in self._detectors.items():
+            if monitor == monitored:
+                continue
+            self._cancel_pending(monitor, monitored)
+            if delay == 0.0:
+                detector._set_suspected(monitored, True)
+            else:
+                self._sim.schedule(delay, detector._set_suspected, monitored, True)
+
+    # ------------------------------------------------------------------ crashes
+
+    def _on_crash(self, pid: int, _time: float) -> None:
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        for monitor, detector in self._detectors.items():
+            if monitor == pid:
+                continue
+            self._cancel_pending(monitor, pid)
+            self._sim.schedule(
+                self.config.detection_time, self._detect_crash, monitor, pid
+            )
+
+    def _detect_crash(self, monitor: int, crashed: int) -> None:
+        self._detectors[monitor]._set_suspected(crashed, True)
+
+    # ------------------------------------------------------------------ mistakes
+
+    def _schedule_next_mistake(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed or monitor in self._crashed:
+            return
+        interval = self._rng.exponential(
+            f"fd/{monitor}/{monitored}/recurrence", self.config.mistake_recurrence_time
+        )
+        if not math.isfinite(interval):
+            return
+        handle = self._sim.schedule(interval, self._mistake_begins, monitor, monitored)
+        self._pending.setdefault((monitor, monitored), []).append(handle)
+
+    def _mistake_begins(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed or monitor in self._crashed:
+            return
+        detector = self._detectors[monitor]
+        duration = self._rng.exponential(
+            f"fd/{monitor}/{monitored}/duration", self.config.mistake_duration
+        )
+        if not detector.is_suspected(monitored):
+            detector._set_suspected(monitored, True)
+            if duration <= 0:
+                # Instantaneous mistake: listeners see the suspicion and the
+                # correction back-to-back, which is enough to trigger the
+                # algorithms' failure-handling paths.
+                detector._set_suspected(monitored, False)
+            else:
+                handle = self._sim.schedule(
+                    duration, self._mistake_ends, monitor, monitored
+                )
+                self._pending.setdefault((monitor, monitored), []).append(handle)
+        self._schedule_next_mistake(monitor, monitored)
+
+    def _mistake_ends(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(monitored, False)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _cancel_pending(self, monitor: int, monitored: int) -> None:
+        for handle in self._pending.pop((monitor, monitored), []):
+            handle.cancel()

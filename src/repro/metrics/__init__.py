@@ -1,0 +1,6 @@
+"""Performance metrics: latency recording and summary statistics."""
+
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.stats import Summary, summarize
+
+__all__ = ["LatencyRecorder", "Summary", "summarize"]

@@ -1,0 +1,101 @@
+"""Latency recording.
+
+The paper's performance measure is the latency of atomic broadcast: the time
+from ``A-broadcast(m)`` to the *earliest* ``A-deliver(m)`` on any process
+(Section 5.1).  :class:`LatencyRecorder` attaches to a
+:class:`repro.system.BroadcastSystem` and records both ends of every message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.types import BroadcastID
+from repro.metrics.stats import Summary, summarize
+
+
+class LatencyRecorder:
+    """Records A-broadcast and first A-delivery times of every message."""
+
+    def __init__(self) -> None:
+        self._broadcast_times: Dict[BroadcastID, float] = {}
+        self._first_delivery: Dict[BroadcastID, float] = {}
+        self._delivery_counts: Dict[BroadcastID, int] = {}
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach(self, system) -> None:
+        """Hook the recorder into every process of ``system``."""
+        sim = system.sim
+        for abcast in system.abcasts:
+            abcast.add_broadcast_listener(
+                lambda bid, _payload, _sim=sim: self.record_broadcast(bid, _sim.now)
+            )
+            abcast.add_delivery_listener(
+                lambda bid, _payload, _sim=sim: self.record_delivery(bid, _sim.now)
+            )
+
+    # ------------------------------------------------------------------ recording
+
+    def record_broadcast(self, broadcast_id: BroadcastID, time: float) -> None:
+        """Record that ``broadcast_id`` was A-broadcast at ``time``."""
+        self._broadcast_times.setdefault(broadcast_id, time)
+
+    def record_delivery(self, broadcast_id: BroadcastID, time: float) -> None:
+        """Record one A-delivery of ``broadcast_id`` at ``time``."""
+        self._delivery_counts[broadcast_id] = self._delivery_counts.get(broadcast_id, 0) + 1
+        current = self._first_delivery.get(broadcast_id)
+        if current is None or time < current:
+            self._first_delivery[broadcast_id] = time
+
+    # ------------------------------------------------------------------ queries
+
+    def broadcast_time(self, broadcast_id: BroadcastID) -> Optional[float]:
+        """When ``broadcast_id`` was A-broadcast (or ``None``)."""
+        return self._broadcast_times.get(broadcast_id)
+
+    def first_delivery_time(self, broadcast_id: BroadcastID) -> Optional[float]:
+        """Earliest A-delivery time of ``broadcast_id`` (or ``None``)."""
+        return self._first_delivery.get(broadcast_id)
+
+    def delivery_count(self, broadcast_id: BroadcastID) -> int:
+        """How many processes A-delivered ``broadcast_id`` so far."""
+        return self._delivery_counts.get(broadcast_id, 0)
+
+    def is_delivered(self, broadcast_id: BroadcastID) -> bool:
+        """Whether at least one process A-delivered ``broadcast_id``."""
+        return broadcast_id in self._first_delivery
+
+    def latency(self, broadcast_id: BroadcastID) -> Optional[float]:
+        """Latency of ``broadcast_id`` or ``None`` if not delivered yet."""
+        start = self._broadcast_times.get(broadcast_id)
+        end = self._first_delivery.get(broadcast_id)
+        if start is None or end is None:
+            return None
+        return end - start
+
+    def latencies(
+        self, only: Optional[Iterable[BroadcastID]] = None
+    ) -> Dict[BroadcastID, float]:
+        """Latencies of delivered messages (optionally restricted to ``only``)."""
+        ids: Iterable[BroadcastID]
+        ids = self._broadcast_times if only is None else only
+        result: Dict[BroadcastID, float] = {}
+        for broadcast_id in ids:
+            value = self.latency(broadcast_id)
+            if value is not None:
+                result[broadcast_id] = value
+        return result
+
+    def undelivered(self, only: Optional[Iterable[BroadcastID]] = None) -> List[BroadcastID]:
+        """Messages that were broadcast but never delivered anywhere."""
+        ids = self._broadcast_times if only is None else only
+        return [bid for bid in ids if bid in self._broadcast_times and bid not in self._first_delivery]
+
+    def summary(self, only: Optional[Iterable[BroadcastID]] = None) -> Summary:
+        """Summary statistics of the recorded latencies."""
+        return summarize(self.latencies(only).values())
+
+    def tracked_count(self) -> int:
+        """Number of broadcast messages tracked so far."""
+        return len(self._broadcast_times)

@@ -1,0 +1,91 @@
+"""Summary statistics with confidence intervals.
+
+The paper reports the mean latency with its 95 % confidence interval for
+every plotted point; :func:`summarize` computes the same quantities.  The
+Student-t quantile is taken from :mod:`scipy` when available and falls back
+to the normal approximation otherwise (the package has no hard dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly depending on the environment
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+#: Two-sided 97.5 % quantile of the standard normal distribution.
+_Z_975 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and confidence interval of a sample.
+
+    ``ci_halfwidth`` is the half-width of the two-sided confidence interval
+    at level ``confidence``; the interval is ``mean +/- ci_halfwidth``.
+    """
+
+    count: int
+    mean: float
+    std: float
+    ci_halfwidth: float
+    minimum: float
+    maximum: float
+    confidence: float = 0.95
+
+    @property
+    def ci_low(self) -> float:
+        """Lower bound of the confidence interval."""
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        """Upper bound of the confidence interval."""
+        return self.mean + self.ci_halfwidth
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "no samples"
+        return f"{self.mean:.2f} +/- {self.ci_halfwidth:.2f} (n={self.count})"
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    if dof <= 0:
+        return float("nan")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    return _Z_975 if confidence == 0.95 else _Z_975
+
+
+def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
+    """Compute the mean and its ``confidence`` interval for ``values``."""
+    data: List[float] = [float(v) for v in values]
+    count = len(data)
+    if count == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, confidence)
+    mean = sum(data) / count
+    if count == 1:
+        return Summary(1, mean, 0.0, float("inf"), mean, mean, confidence)
+    variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    std = math.sqrt(variance)
+    halfwidth = _t_quantile(confidence, count - 1) * std / math.sqrt(count)
+    return Summary(count, mean, std, halfwidth, min(data), max(data), confidence)
+
+
+def throughput_from_interarrival(mean_interarrival_ms: float) -> float:
+    """Convert a mean inter-arrival time in ms to a throughput in messages/s."""
+    if mean_interarrival_ms <= 0:
+        raise ValueError("mean inter-arrival time must be positive")
+    return 1000.0 / mean_interarrival_ms
+
+
+def interarrival_from_throughput(throughput_per_s: float) -> float:
+    """Convert a throughput in messages/s to a mean inter-arrival time in ms."""
+    if throughput_per_s <= 0:
+        raise ValueError("throughput must be positive")
+    return 1000.0 / throughput_per_s

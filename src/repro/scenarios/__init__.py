@@ -1,0 +1,25 @@
+"""The paper's four benchmark scenarios.
+
+* :func:`run_normal_steady`    -- Fig. 4,
+* :func:`run_crash_steady`     -- Fig. 5,
+* :func:`run_suspicion_steady` -- Figs. 6 and 7,
+* :func:`run_crash_transient`  -- Fig. 8.
+"""
+
+from repro.scenarios.results import ScenarioResult, TransientResult
+from repro.scenarios.steady import (
+    run_crash_steady,
+    run_normal_steady,
+    run_suspicion_steady,
+)
+from repro.scenarios.transient import run_crash_transient, sweep_crash_transient
+
+__all__ = [
+    "ScenarioResult",
+    "TransientResult",
+    "run_crash_steady",
+    "run_crash_transient",
+    "run_normal_steady",
+    "run_suspicion_steady",
+    "sweep_crash_transient",
+]

@@ -1,0 +1,204 @@
+"""Steady-state benchmark scenarios.
+
+Three of the paper's four scenarios measure the latency of atomic broadcast
+in steady state, under a Poisson workload of aggregate throughput ``T``:
+
+* ``normal-steady``    -- neither crashes nor wrong suspicions (Fig. 4),
+* ``crash-steady``     -- some processes crashed long before the measured
+  window, and every failure detector suspects them permanently (Fig. 5),
+* ``suspicion-steady`` -- no crashes, but the failure detectors wrongly
+  suspect correct processes, with mistake recurrence time ``T_MR`` and
+  mistake duration ``T_M`` (Figs. 6 and 7).
+
+Every run measures ``num_messages`` messages after a warm-up period and
+reports the latency of each (time from A-broadcast to the earliest
+A-delivery).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.types import BroadcastID
+from repro.failure_detectors.qos import QoSConfig
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.stats import interarrival_from_throughput
+from repro.scenarios.results import ScenarioResult
+from repro.system import BroadcastSystem, SystemConfig, build_system
+from repro.workload.generator import PoissonWorkload
+
+#: Default number of measured messages per point.
+DEFAULT_MESSAGES = 400
+#: Default fraction of extra messages used to warm the system up.
+DEFAULT_WARMUP_FRACTION = 0.2
+#: Hard cap on simulated events, to bound runs where the algorithm thrashes.
+DEFAULT_MAX_EVENTS = 4_000_000
+
+
+def _run_steady(
+    scenario: str,
+    config: SystemConfig,
+    throughput: float,
+    num_messages: int,
+    warmup_fraction: float,
+    crashed: Sequence[int],
+    max_time: Optional[float],
+    max_events: int,
+    params: dict,
+) -> ScenarioResult:
+    """Common driver of the three steady-state scenarios."""
+    system = build_system(config)
+    for pid in crashed:
+        system.crash(pid)
+        system.fd_fabric.suspect_permanently(pid)
+
+    recorder = LatencyRecorder()
+    recorder.attach(system)
+
+    senders = system.correct_processes()
+    workload = PoissonWorkload(system, throughput, senders=senders)
+
+    warmup_count = int(math.ceil(num_messages * warmup_fraction))
+    total = warmup_count + num_messages
+    measured_ids: Set[BroadcastID] = set()
+    outstanding = {"count": num_messages, "all_sent": False}
+
+    def on_sent(index: int, broadcast_id: BroadcastID, _time: float) -> None:
+        if index >= warmup_count:
+            measured_ids.add(broadcast_id)
+            if recorder.is_delivered(broadcast_id):
+                outstanding["count"] -= 1
+        if index == total - 1:
+            outstanding["all_sent"] = True
+        _maybe_stop()
+
+    def on_delivery(_pid: int, broadcast_id: BroadcastID, _payload) -> None:
+        if broadcast_id in measured_ids and recorder.delivery_count(broadcast_id) == 1:
+            outstanding["count"] -= 1
+            _maybe_stop()
+
+    def _maybe_stop() -> None:
+        if outstanding["all_sent"] and outstanding["count"] <= 0:
+            system.sim.stop()
+
+    workload.add_sent_callback(on_sent)
+    system.add_delivery_listener(on_delivery)
+
+    last_arrival = workload.schedule_messages(total, start_time=0.0)
+    if max_time is None:
+        # Allow generous slack beyond the arrival window before giving up.
+        max_time = last_arrival + max(20_000.0, 20 * interarrival_from_throughput(throughput))
+
+    system.run(until=max_time, max_events=max_events)
+
+    latencies = list(recorder.latencies(measured_ids).values())
+    result = ScenarioResult(
+        scenario=scenario,
+        algorithm=config.algorithm,
+        n=config.n,
+        throughput=throughput,
+        latencies=latencies,
+        undelivered=len(measured_ids) - len(latencies) + (num_messages - len(measured_ids)),
+        measured=num_messages,
+        duration=system.sim.now,
+        events=system.sim.events_processed,
+        params=dict(params),
+    )
+    return result
+
+
+def run_normal_steady(
+    config: SystemConfig,
+    throughput: float,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Latency in runs with neither crashes nor suspicions (Fig. 4)."""
+    config = replace(config, fd=QoSConfig())
+    return _run_steady(
+        "normal-steady",
+        config,
+        throughput,
+        num_messages,
+        warmup_fraction,
+        crashed=(),
+        max_time=max_time,
+        max_events=max_events,
+        params={},
+    )
+
+
+def run_crash_steady(
+    config: SystemConfig,
+    throughput: float,
+    crashed: Sequence[int],
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Latency long after the processes in ``crashed`` have crashed (Fig. 5).
+
+    The crashed processes are suspected permanently by every failure detector
+    from the very start of the run, and they do not send workload messages --
+    exactly the paper's definition of the crash-steady scenario.
+    """
+    crashed = tuple(crashed)
+    if len(crashed) > config.max_tolerated_crashes():
+        raise ValueError(
+            f"{len(crashed)} crashes exceed the f < n/2 bound for n={config.n}"
+        )
+    config = replace(config, fd=QoSConfig())
+    return _run_steady(
+        "crash-steady",
+        config,
+        throughput,
+        num_messages,
+        warmup_fraction,
+        crashed=crashed,
+        max_time=max_time,
+        max_events=max_events,
+        params={"crashed": crashed},
+    )
+
+
+def run_suspicion_steady(
+    config: SystemConfig,
+    throughput: float,
+    mistake_recurrence_time: float,
+    mistake_duration: float = 0.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Latency with wrong suspicions of correct processes (Figs. 6 and 7).
+
+    ``mistake_recurrence_time`` and ``mistake_duration`` are the means (in
+    ms) of the exponential QoS metrics ``T_MR`` and ``T_M`` of every failure
+    detector pair.  No process crashes.
+    """
+    fd = QoSConfig(
+        detection_time=0.0,
+        mistake_recurrence_time=mistake_recurrence_time,
+        mistake_duration=mistake_duration,
+    )
+    config = replace(config, fd=fd)
+    return _run_steady(
+        "suspicion-steady",
+        config,
+        throughput,
+        num_messages,
+        warmup_fraction,
+        crashed=(),
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "mistake_recurrence_time": mistake_recurrence_time,
+            "mistake_duration": mistake_duration,
+        },
+    )

@@ -1,0 +1,167 @@
+"""Crash-transient scenario (Fig. 8).
+
+The paper defines the transient latency after a crash as follows: the system
+runs in steady state under the Poisson workload; at time ``t`` a process
+``p`` crashes and another process ``q`` A-broadcasts a message ``m`` at the
+same instant; ``L(p, q)`` is the mean latency of ``m`` over many independent
+executions, and the reported value is the worst case over ``(p, q)``.  In
+practice the worst case is the crash of the round-1 coordinator of the FD
+algorithm / the sequencer of the GM algorithm (process ``p1``), which is the
+case the paper plots; this module lets callers pick any ``(p, q)`` pair or
+sweep all of them.
+
+Because no atomic broadcast can finish before the crash is detected, the
+paper plots the latency *overhead*: latency minus the detection time ``T_D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.failure_detectors.qos import QoSConfig
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.stats import interarrival_from_throughput
+from repro.scenarios.results import TransientResult
+from repro.system import SystemConfig, build_system
+from repro.workload.generator import PoissonWorkload
+
+#: Default number of independent runs per (p, q, T_D, T) point.
+DEFAULT_RUNS = 20
+#: Default steady-state warm-up before the forced crash (ms).
+DEFAULT_CRASH_TIME = 400.0
+
+
+def run_crash_transient(
+    config: SystemConfig,
+    throughput: float,
+    detection_time: float,
+    crashed_process: int = 0,
+    sender: Optional[int] = None,
+    num_runs: int = DEFAULT_RUNS,
+    crash_time: float = DEFAULT_CRASH_TIME,
+    max_wait: float = 60_000.0,
+    max_events: int = 4_000_000,
+) -> TransientResult:
+    """Measure the transient latency of a broadcast issued at the crash instant.
+
+    Each run uses a fresh system (and seed): background Poisson traffic at
+    ``throughput`` messages/s from every process, a crash of
+    ``crashed_process`` at ``crash_time`` and a tagged message A-broadcast by
+    ``sender`` at the same time.  The run ends as soon as the tagged message
+    is delivered somewhere (or after ``max_wait`` ms past the crash).
+    """
+    if sender is None:
+        sender = config.n - 1 if crashed_process != config.n - 1 else config.n - 2
+    if sender == crashed_process:
+        raise ValueError("the tagged sender must differ from the crashed process")
+
+    fd = QoSConfig(detection_time=detection_time)
+    base_config = replace(config, fd=fd)
+
+    latencies: List[float] = []
+    failed = 0
+    for run in range(num_runs):
+        run_config = base_config.with_seed(base_config.seed + 1000 * (run + 1))
+        latency = _single_transient_run(
+            run_config,
+            throughput,
+            crashed_process,
+            sender,
+            crash_time,
+            max_wait,
+            max_events,
+        )
+        if latency is None:
+            failed += 1
+        else:
+            latencies.append(latency)
+
+    return TransientResult(
+        algorithm=config.algorithm,
+        n=config.n,
+        throughput=throughput,
+        detection_time=detection_time,
+        crashed_process=crashed_process,
+        sender=sender,
+        latencies=latencies,
+        failed_runs=failed,
+        params={"crash_time": crash_time, "num_runs": num_runs},
+    )
+
+
+def _single_transient_run(
+    config: SystemConfig,
+    throughput: float,
+    crashed_process: int,
+    sender: int,
+    crash_time: float,
+    max_wait: float,
+    max_events: int,
+) -> Optional[float]:
+    """One independent execution; returns the tagged message latency or ``None``."""
+    system = build_system(config)
+    recorder = LatencyRecorder()
+    recorder.attach(system)
+
+    # Background traffic before and after the crash, from every process (the
+    # crashed sender's post-crash messages are dropped by the network, which
+    # matches "crashed processes do not send any further messages").
+    workload = PoissonWorkload(system, throughput, senders=list(range(config.n)))
+    horizon = crash_time + max_wait
+    background_count = int(throughput * horizon / 1000.0) + 1
+    workload.schedule_messages(background_count, start_time=0.0)
+
+    tagged = {}
+
+    def crash_and_tag() -> None:
+        system.crash(crashed_process)
+        tagged["id"] = system.broadcast(sender, "tagged-transient-message")
+
+    def on_delivery(_pid, broadcast_id, _payload) -> None:
+        if tagged.get("id") == broadcast_id:
+            system.sim.stop()
+
+    system.add_delivery_listener(on_delivery)
+    system.sim.schedule_at(crash_time, crash_and_tag)
+    system.run(until=horizon, max_events=max_events)
+
+    tagged_id = tagged.get("id")
+    if tagged_id is None:
+        return None
+    return recorder.latency(tagged_id)
+
+
+def sweep_crash_transient(
+    config: SystemConfig,
+    throughput: float,
+    detection_time: float,
+    crashed_processes: Optional[Sequence[int]] = None,
+    senders: Optional[Sequence[int]] = None,
+    num_runs: int = DEFAULT_RUNS,
+    **kwargs,
+) -> List[TransientResult]:
+    """Measure L(p, q) for several (p, q) pairs (worst case = max of the means)."""
+    crashed_processes = (
+        list(crashed_processes) if crashed_processes is not None else [0]
+    )
+    results: List[TransientResult] = []
+    for crashed in crashed_processes:
+        candidate_senders = (
+            [s for s in senders if s != crashed]
+            if senders is not None
+            else [pid for pid in range(config.n) if pid != crashed]
+        )
+        for sender in candidate_senders:
+            results.append(
+                run_crash_transient(
+                    config,
+                    throughput,
+                    detection_time,
+                    crashed_process=crashed,
+                    sender=sender,
+                    num_runs=num_runs,
+                    **kwargs,
+                )
+            )
+    return results

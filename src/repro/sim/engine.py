@@ -1,0 +1,147 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a plain priority queue of timestamped callbacks.  Events
+scheduled for the same simulation time fire in the order they were scheduled,
+which makes every run fully deterministic for a given seed.  Simulation time
+is a ``float``; by convention one unit is the network transmission time of a
+single message (interpreted as 1 ms in the paper's plots).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+class EventHandle:
+    """Handle of a scheduled event, usable for cancellation.
+
+    Instances are ordered by ``(time, sequence number)`` so they can live
+    directly on the kernel's heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be skipped when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, callback, arg1, arg2)
+        sim.run(until=1000.0)
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self._processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics and tests)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting on the queue (cancelled included)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time}, now={self._now})"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the event being processed."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached or ``stop``.
+
+        Returns the simulation time at which the run ended.  Events scheduled
+        exactly at ``until`` are executed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if head.cancelled:
+                    continue
+                self._now = head.time
+                head.callback(*head.args)
+                self._processed += 1
+                executed += 1
+            else:
+                if until is not None and not self._queue and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (bounded by ``max_events`` as a guard)."""
+        return self.run(max_events=max_events)
+
+    def reset(self) -> None:
+        """Clear all state so the simulator can be reused from time zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._now = 0.0
+        self._queue.clear()
+        self._seq = 0
+        self._processed = 0
+        self._stopped = False

@@ -1,0 +1,51 @@
+"""Message representation used by the network model and protocol components."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message travelling through the simulated network.
+
+    Attributes
+    ----------
+    sender:
+        Process id of the sending process.
+    destinations:
+        Tuple of destination process ids.  A destination equal to the sender
+        is delivered locally without occupying any resource.
+    protocol:
+        Name of the protocol component the message is dispatched to on the
+        receiving process (``"consensus"``, ``"abcast"``, ``"gm"`` ...).
+    body:
+        Arbitrary (treated as immutable) protocol payload.
+    uid:
+        Globally unique message identifier, assigned automatically.
+    """
+
+    sender: int
+    destinations: Tuple[int, ...]
+    protocol: str
+    body: Any
+    uid: int = field(default_factory=lambda: next(_message_counter))
+
+    def is_multicast(self) -> bool:
+        """True when the message has more than one remote destination."""
+        remote = [d for d in self.destinations if d != self.sender]
+        return len(remote) > 1
+
+    def remote_destinations(self) -> Tuple[int, ...]:
+        """Destinations other than the sender itself."""
+        return tuple(d for d in self.destinations if d != self.sender)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Message(#{self.uid} {self.sender}->{list(self.destinations)} "
+            f"proto={self.protocol} {self.body!r})"
+        )

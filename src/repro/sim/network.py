@@ -1,0 +1,236 @@
+"""Contention-aware network model (Fig. 2 of the paper).
+
+A message sent from process ``p_i`` to process ``p_j`` successively occupies
+
+1. ``CPU_i`` for ``lambda`` time units (emission processing),
+2. the single shared ``network`` resource for 1 time unit (transmission),
+3. ``CPU_j`` for ``lambda`` time units (reception processing),
+
+with a FIFO waiting queue in front of every resource.  The parameter
+``lambda`` captures the relative cost of host processing versus the network
+transmission; the paper's published results use ``lambda = 1``.
+
+A multicast occupies the sending CPU and the network once (Ethernet-like
+broadcast medium) and each receiving CPU once.  A destination equal to the
+sender is delivered locally, without occupying any resource.
+
+Crashes follow the paper's *software crash* semantics: once ``p_i`` crashes,
+no message passes between ``p_i`` and ``CPU_i`` any more, but messages that
+were already handed to ``CPU_i`` (queued or in service) are still emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.resources import FIFOResource
+
+DeliverCallback = Callable[[int, Message], None]
+CrashListener = Callable[[int, float], None]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the contention model.
+
+    Attributes
+    ----------
+    n:
+        Number of processes (ids ``0 .. n-1``).
+    lambda_cpu:
+        Time units spent on a host CPU to emit or to receive one message
+        (``lambda`` in the paper).
+    network_time:
+        Time units one message occupies the shared network; the paper's time
+        unit, fixed to 1 in all published experiments.
+    """
+
+    n: int
+    lambda_cpu: float = 1.0
+    network_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one process, got n={self.n}")
+        if self.lambda_cpu < 0:
+            raise ValueError(f"lambda_cpu must be >= 0, got {self.lambda_cpu}")
+        if self.network_time <= 0:
+            raise ValueError(f"network_time must be > 0, got {self.network_time}")
+
+
+class NetworkStats:
+    """Counters describing the traffic a simulation produced."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.unicasts_sent = 0
+        self.multicasts_sent = 0
+        self.deliveries = 0
+        self.dropped_sender_crashed = 0
+        self.dropped_receiver_crashed = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters, keyed by counter name."""
+        return dict(self.__dict__)
+
+
+class Network:
+    """The shared transmission medium plus one CPU resource per process."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
+        self._sim = sim
+        self.config = config
+        self._network = FIFOResource(sim, "network")
+        self._cpus: List[FIFOResource] = [
+            FIFOResource(sim, f"cpu[{pid}]") for pid in range(config.n)
+        ]
+        self._deliver_callbacks: Dict[int, DeliverCallback] = {}
+        self._crashed: Set[int] = set()
+        self._crash_times: Dict[int, float] = {}
+        self._crash_listeners: List[CrashListener] = []
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ wiring
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation kernel this network is attached to."""
+        return self._sim
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.config.n
+
+    def attach(self, pid: int, callback: DeliverCallback) -> None:
+        """Register the delivery callback of process ``pid``."""
+        self._check_pid(pid)
+        self._deliver_callbacks[pid] = callback
+
+    def add_crash_listener(self, listener: CrashListener) -> None:
+        """Register a callback invoked as ``listener(pid, time)`` on crashes."""
+        self._crash_listeners.append(listener)
+
+    def cpu(self, pid: int) -> FIFOResource:
+        """The CPU resource of process ``pid`` (useful for tests and stats)."""
+        self._check_pid(pid)
+        return self._cpus[pid]
+
+    @property
+    def network_resource(self) -> FIFOResource:
+        """The shared network resource."""
+        return self._network
+
+    # ------------------------------------------------------------------ crashes
+
+    def crash(self, pid: int) -> None:
+        """Crash process ``pid`` at the current simulation time.
+
+        Idempotent.  Messages already handed to ``CPU_pid`` keep flowing
+        (software-crash semantics); everything submitted afterwards is
+        dropped, and nothing is delivered up to the crashed process.
+        """
+        self._check_pid(pid)
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        self._crash_times[pid] = self._sim.now
+        for listener in list(self._crash_listeners):
+            listener(pid, self._sim.now)
+
+    def is_crashed(self, pid: int) -> bool:
+        """Whether ``pid`` has crashed."""
+        self._check_pid(pid)
+        return pid in self._crashed
+
+    def crash_time(self, pid: int) -> Optional[float]:
+        """Time at which ``pid`` crashed, or ``None`` if it did not."""
+        self._check_pid(pid)
+        return self._crash_times.get(pid)
+
+    def crashed_processes(self) -> Set[int]:
+        """The set of crashed process ids."""
+        return set(self._crashed)
+
+    def correct_processes(self) -> List[int]:
+        """Process ids that have not crashed, in increasing order."""
+        return [pid for pid in range(self.config.n) if pid not in self._crashed]
+
+    # ------------------------------------------------------------------ sending
+
+    def send(self, message: Message) -> None:
+        """Inject ``message`` into the network model.
+
+        The sender pays the CPU emission cost once, the message occupies the
+        network once (even for multicasts) and every remote destination pays
+        the CPU reception cost.  Local (self) destinations are delivered at
+        the current time without using any resource.
+        """
+        sender = message.sender
+        self._check_pid(sender)
+        for dest in message.destinations:
+            self._check_pid(dest)
+
+        if sender in self._crashed:
+            self.stats.dropped_sender_crashed += 1
+            return
+
+        self.stats.messages_sent += 1
+        remote = message.remote_destinations()
+        if len(remote) > 1:
+            self.stats.multicasts_sent += 1
+        elif len(remote) == 1:
+            self.stats.unicasts_sent += 1
+
+        if sender in message.destinations:
+            # Local delivery bypasses the resources but still goes through the
+            # event queue so that callers never see re-entrant callbacks.
+            self._sim.schedule(0.0, self._deliver_local, sender, message)
+
+        if remote:
+            self._cpus[sender].submit(
+                self.config.lambda_cpu, lambda m=message: self._emitted(m)
+            )
+
+    def _deliver_local(self, pid: int, message: Message) -> None:
+        if pid in self._crashed:
+            self.stats.dropped_receiver_crashed += 1
+            return
+        self._deliver(pid, message)
+
+    def _emitted(self, message: Message) -> None:
+        # The sending CPU finished the emission processing; the message now
+        # occupies the shared network once, regardless of fan-out.
+        self._network.submit(
+            self.config.network_time, lambda m=message: self._transmitted(m)
+        )
+
+    def _transmitted(self, message: Message) -> None:
+        for dest in message.remote_destinations():
+            self._cpus[dest].submit(
+                self.config.lambda_cpu,
+                lambda d=dest, m=message: self._received(d, m),
+            )
+
+    def _received(self, dest: int, message: Message) -> None:
+        if dest in self._crashed:
+            # The CPU processed the frame but the crashed process never sees it.
+            self.stats.dropped_receiver_crashed += 1
+            return
+        self._deliver(dest, message)
+
+    def _deliver(self, dest: int, message: Message) -> None:
+        callback = self._deliver_callbacks.get(dest)
+        if callback is None:
+            raise RuntimeError(f"no process attached for destination {dest}")
+        self.stats.deliveries += 1
+        callback(dest, message)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.config.n:
+            raise ValueError(f"process id {pid} out of range 0..{self.config.n - 1}")

@@ -1,0 +1,89 @@
+"""FIFO contention resources.
+
+The network model of the paper (Fig. 2) is built from resources that serve
+one message at a time: one CPU resource per host and one shared network
+resource.  A message that finds the resource busy waits in a FIFO queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class FIFOResource:
+    """A resource that serves jobs one at a time in arrival order.
+
+    Jobs are submitted with :meth:`submit`; when a job finishes its service
+    time the ``on_done`` callback fires and the next queued job (if any)
+    starts immediately.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self.name = name
+        self._busy = False
+        self._queue: Deque[Tuple[float, Callable[[], Any]]] = deque()
+        self._jobs_served = 0
+        self._busy_time = 0.0
+        self._current_job_end: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a job is currently in service."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def jobs_served(self) -> int:
+        """Total number of jobs that completed service."""
+        return self._jobs_served
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative time the resource spent serving jobs."""
+        return self._busy_time
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` the resource was busy (for diagnostics)."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / horizon)
+
+    def submit(self, service_time: float, on_done: Callable[[], Any]) -> None:
+        """Request ``service_time`` units of service, then call ``on_done``.
+
+        A ``service_time`` of zero is served immediately when the resource is
+        idle (and still respects FIFO order when it is not).
+        """
+        if service_time < 0:
+            raise ValueError(f"service time must be non-negative, got {service_time}")
+        if self._busy:
+            self._queue.append((service_time, on_done))
+        else:
+            self._start(service_time, on_done)
+
+    def _start(self, service_time: float, on_done: Callable[[], Any]) -> None:
+        self._busy = True
+        self._current_job_end = self._sim.now + service_time
+        self._sim.schedule(service_time, self._finish, service_time, on_done)
+
+    def _finish(self, service_time: float, on_done: Callable[[], Any]) -> None:
+        self._busy_time += service_time
+        self._jobs_served += 1
+        on_done()
+        if self._queue:
+            next_service, next_done = self._queue.popleft()
+            self._start(next_service, next_done)
+        else:
+            self._busy = False
+            self._current_job_end = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FIFOResource({self.name!r}, busy={self._busy}, queued={len(self._queue)})"

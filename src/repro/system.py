@@ -1,0 +1,235 @@
+"""System builder: wires a complete simulated atomic broadcast system.
+
+:class:`BroadcastSystem` assembles the simulation kernel, the contention
+network, the processes, the failure detectors and one of the two atomic
+broadcast protocol stacks:
+
+* ``"fd"``            -- reliable broadcast + consensus + Chandra-Toueg atomic
+  broadcast (the *FD algorithm*),
+* ``"gm"``            -- reliable broadcast + consensus + group membership +
+  fixed-sequencer uniform atomic broadcast (the *GM algorithm*),
+* ``"gm-nonuniform"`` -- the non-uniform variant of the GM algorithm
+  (extension discussed in Section 8 of the paper).
+
+This is the main entry point of the library: workload generators, scenarios,
+benchmarks and the example applications all operate on a
+:class:`BroadcastSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.consensus import ConsensusService
+from repro.core.fd_broadcast import FDAtomicBroadcast
+from repro.core.group_membership import GroupMembership
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.sequencer_broadcast import SequencerAtomicBroadcast
+from repro.core.types import AtomicBroadcast, BroadcastID
+from repro.failure_detectors.qos import QoSConfig, QoSFailureDetectorFabric
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.process import SimProcess
+from repro.sim.rng import RandomStreams
+
+#: Supported algorithm identifiers.
+ALGORITHMS = ("fd", "gm", "gm-nonuniform")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of a simulated atomic broadcast system.
+
+    Attributes
+    ----------
+    n:
+        Number of processes.
+    algorithm:
+        ``"fd"``, ``"gm"`` or ``"gm-nonuniform"``.
+    lambda_cpu:
+        The ``lambda`` parameter of the network model (CPU cost of sending or
+        receiving one message, in network-time units).  The paper's published
+        results use 1.
+    network_time:
+        Network transmission time of one message; the simulation time unit
+        (interpreted as 1 ms).
+    seed:
+        Root seed of all random streams of the run.
+    fd:
+        Quality-of-service parameters of the failure detectors.
+    renumber_coordinators:
+        Enable the coordinator re-numbering optimisation of the FD algorithm.
+    join_retry_interval:
+        Retry period of the join protocol of wrongly excluded processes
+        (GM algorithm only).
+    pipeline_depth:
+        How many ordering rounds (consensus instances / sequencer batches)
+        may be in flight at once.  The same value is applied to both
+        algorithms so that their message patterns stay identical in
+        suspicion-free runs; 1 gives the strictly sequential textbook
+        behaviour.
+    """
+
+    n: int = 3
+    algorithm: str = "fd"
+    lambda_cpu: float = 1.0
+    network_time: float = 1.0
+    seed: int = 1
+    fd: QoSConfig = field(default_factory=QoSConfig)
+    renumber_coordinators: bool = True
+    join_retry_interval: float = 500.0
+    pipeline_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """A copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+    def max_tolerated_crashes(self) -> int:
+        """The ``f < n/2`` bound both algorithms share."""
+        return (self.n - 1) // 2
+
+
+class BroadcastSystem:
+    """A fully wired simulated system running one atomic broadcast algorithm."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomStreams(config.seed)
+        self.network = Network(
+            self.sim,
+            NetworkConfig(
+                n=config.n,
+                lambda_cpu=config.lambda_cpu,
+                network_time=config.network_time,
+            ),
+        )
+        self.fd_fabric = QoSFailureDetectorFabric(self.sim, self.network, self.rng, config.fd)
+        self.processes: List[SimProcess] = []
+        self.abcasts: List[AtomicBroadcast] = []
+        self.rbcasts: List[ReliableBroadcast] = []
+        self.consensus_services: List[ConsensusService] = []
+        self.memberships: List[GroupMembership] = []
+        self._started = False
+        self._build()
+
+    # ------------------------------------------------------------------ construction
+
+    def _build(self) -> None:
+        for pid in range(self.config.n):
+            process = SimProcess(self.sim, self.network, pid)
+            process.failure_detector = self.fd_fabric.detector(pid)
+            rbcast = ReliableBroadcast(process)
+            consensus = ConsensusService(process, rbcast)
+            if self.config.algorithm == "fd":
+                abcast: AtomicBroadcast = FDAtomicBroadcast(
+                    process,
+                    rbcast,
+                    consensus,
+                    renumber_coordinators=self.config.renumber_coordinators,
+                    pipeline_depth=self.config.pipeline_depth,
+                )
+            else:
+                membership = GroupMembership(
+                    process,
+                    consensus,
+                    join_retry_interval=self.config.join_retry_interval,
+                )
+                abcast = SequencerAtomicBroadcast(
+                    process,
+                    membership,
+                    uniform=(self.config.algorithm == "gm"),
+                    pipeline_depth=self.config.pipeline_depth,
+                )
+                self.memberships.append(membership)
+            self.processes.append(process)
+            self.rbcasts.append(rbcast)
+            self.consensus_services.append(consensus)
+            self.abcasts.append(abcast)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start all components and the failure detector fabric (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for process in self.processes:
+            process.start()
+        self.fd_fabric.start()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Start (if needed) and run the simulation; returns the end time."""
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------ operations
+
+    def process(self, pid: int) -> SimProcess:
+        """The simulated process with id ``pid``."""
+        return self.processes[pid]
+
+    def abcast(self, pid: int) -> AtomicBroadcast:
+        """The atomic broadcast component of process ``pid``."""
+        return self.abcasts[pid]
+
+    def membership(self, pid: int) -> GroupMembership:
+        """The group membership component of ``pid`` (GM algorithm only)."""
+        if self.config.algorithm == "fd":
+            raise ValueError("the FD algorithm has no group membership service")
+        return self.memberships[pid]
+
+    def broadcast(self, sender: int, payload: Any) -> BroadcastID:
+        """A-broadcast ``payload`` from process ``sender`` (at the current time)."""
+        return self.abcasts[sender].broadcast(payload)
+
+    def broadcast_at(self, time: float, sender: int, payload: Any) -> None:
+        """Schedule an A-broadcast of ``payload`` by ``sender`` at ``time``."""
+        self.sim.schedule_at(time, self.abcasts[sender].broadcast, payload)
+
+    def crash(self, pid: int) -> None:
+        """Crash process ``pid`` at the current simulation time."""
+        self.processes[pid].crash()
+
+    def crash_at(self, time: float, pid: int) -> None:
+        """Schedule the crash of ``pid`` at ``time``."""
+        self.sim.schedule_at(time, self.processes[pid].crash)
+
+    def correct_processes(self) -> List[int]:
+        """Ids of processes that have not crashed."""
+        return self.network.correct_processes()
+
+    # ------------------------------------------------------------------ inspection
+
+    def delivery_sequences(self) -> Dict[int, List[BroadcastID]]:
+        """Delivery order observed by every process (for invariant checks)."""
+        return {pid: self.abcasts[pid].delivered_ids() for pid in range(self.config.n)}
+
+    def add_delivery_listener(self, listener: Callable[[int, BroadcastID, Any], None]) -> None:
+        """Subscribe to deliveries on every process: ``listener(pid, id, payload)``."""
+        for pid, abcast in enumerate(self.abcasts):
+            abcast.add_delivery_listener(
+                lambda bid, payload, _pid=pid: listener(_pid, bid, payload)
+            )
+
+    def message_stats(self) -> Dict[str, int]:
+        """Traffic counters of the underlying network."""
+        return self.network.stats.as_dict()
+
+
+def build_system(config: Optional[SystemConfig] = None, **overrides: Any) -> BroadcastSystem:
+    """Convenience constructor: ``build_system(n=5, algorithm="gm", seed=7)``."""
+    if config is None:
+        config = SystemConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return BroadcastSystem(config)

@@ -1,0 +1,5 @@
+"""Workload generation for the benchmark scenarios."""
+
+from repro.workload.generator import PoissonWorkload, SentMessage
+
+__all__ = ["PoissonWorkload", "SentMessage"]

@@ -1,0 +1,77 @@
+"""Tests for the trace recorders."""
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.analysis.tracing import DeliveryTraceRecorder, MessageTraceRecorder
+
+
+def traced_run(algorithm="fd", arrivals=((1.0, 0, "a"), (4.0, 1, "b")), **kwargs):
+    system = build_system(SystemConfig(n=3, algorithm=algorithm, seed=5))
+    messages = MessageTraceRecorder(system, **kwargs)
+    deliveries = DeliveryTraceRecorder(system)
+    system.start()
+    for time, sender, payload in arrivals:
+        system.broadcast_at(time, sender, payload)
+    system.run(until=1_000.0)
+    return system, messages, deliveries
+
+
+class TestMessageTraceRecorder:
+    def test_records_every_network_send(self):
+        system, messages, _deliveries = traced_run()
+        assert len(messages.messages) == system.message_stats()["messages_sent"]
+
+    def test_pattern_identical_across_algorithms(self):
+        _s1, fd_messages, _d1 = traced_run("fd")
+        _s2, gm_messages, _d2 = traced_run("gm")
+        assert fd_messages.pattern() == gm_messages.pattern()
+
+    def test_counts_by_protocol(self):
+        _system, messages, _deliveries = traced_run("fd")
+        counts = messages.counts_by_protocol()
+        assert counts["rbcast"] >= 2          # the two data messages + decisions
+        assert counts["consensus"] >= 2       # proposals and acknowledgements
+
+    def test_multicast_and_unicast_counts(self):
+        system, messages, _deliveries = traced_run("fd", arrivals=((1.0, 0, "a"),))
+        stats = system.message_stats()
+        assert messages.multicast_count() == stats["multicasts_sent"]
+        assert messages.unicast_count() == stats["unicasts_sent"]
+
+    def test_protocol_filter(self):
+        _system, messages, _deliveries = traced_run("fd", include_protocols=("consensus",))
+        assert set(messages.counts_by_protocol()) == {"consensus"}
+
+    def test_detach_stops_recording(self):
+        system = build_system(SystemConfig(n=3, algorithm="fd", seed=5))
+        recorder = MessageTraceRecorder(system)
+        recorder.detach()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=100.0)
+        assert recorder.messages == []
+
+
+class TestDeliveryTraceRecorder:
+    def test_records_deliveries_on_every_process(self):
+        _system, _messages, deliveries = traced_run()
+        assert len(deliveries.deliveries) == 2 * 3
+        for pid in range(3):
+            assert len(deliveries.sequence_for(pid)) == 2
+
+    def test_total_order_holds(self):
+        _system, _messages, deliveries = traced_run()
+        assert deliveries.total_order_holds()
+
+    def test_first_delivery_times(self):
+        _system, _messages, deliveries = traced_run(arrivals=((1.0, 0, "a"),))
+        times = deliveries.first_delivery_times()
+        assert len(times) == 1
+        earliest_recorded = min(d.time for d in deliveries.deliveries)
+        assert next(iter(times.values())) == pytest.approx(earliest_recorded)
+
+    def test_time_multiset_is_sorted(self):
+        _system, _messages, deliveries = traced_run()
+        multiset = deliveries.time_multiset()
+        assert multiset == sorted(multiset)

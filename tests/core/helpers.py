@@ -1,0 +1,61 @@
+"""Scaffolding shared by the core-algorithm unit tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.consensus import ConsensusService
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.failure_detectors.qos import QoSConfig, QoSFailureDetectorFabric
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.process import SimProcess
+from repro.sim.rng import RandomStreams
+
+
+class ConsensusHarness:
+    """n processes, each with reliable broadcast + consensus + a QoS detector."""
+
+    def __init__(self, n: int = 3, seed: int = 1, qos: Optional[QoSConfig] = None) -> None:
+        self.n = n
+        self.sim = Simulator()
+        self.network = Network(self.sim, NetworkConfig(n=n))
+        self.fabric = QoSFailureDetectorFabric(
+            self.sim, self.network, RandomStreams(seed), qos or QoSConfig()
+        )
+        self.processes: List[SimProcess] = []
+        self.rbcasts: List[ReliableBroadcast] = []
+        self.services: List[ConsensusService] = []
+        self.decisions: Dict[int, Dict] = {pid: {} for pid in range(n)}
+        for pid in range(n):
+            process = SimProcess(self.sim, self.network, pid)
+            process.failure_detector = self.fabric.detector(pid)
+            rbcast = ReliableBroadcast(process)
+            service = ConsensusService(process, rbcast)
+            service.add_decision_listener(
+                lambda cid, value, _pid=pid: self.decisions[_pid].__setitem__(cid, value)
+            )
+            self.processes.append(process)
+            self.rbcasts.append(rbcast)
+            self.services.append(service)
+
+    def start(self) -> None:
+        for process in self.processes:
+            process.start()
+        self.fabric.start()
+
+    def propose_all(self, cid, values, participants=None, order=None) -> None:
+        """Every process proposes its value from ``values`` (list indexed by pid)."""
+        participants = participants or list(range(self.n))
+        for pid in participants:
+            self.services[pid].propose(cid, values[pid], participants, order)
+
+    def run(self, until: float = 10_000.0) -> None:
+        self.sim.run(until=until)
+
+    def decided_values(self, cid) -> Dict[int, object]:
+        return {
+            pid: decisions[cid]
+            for pid, decisions in self.decisions.items()
+            if cid in decisions
+        }

@@ -1,0 +1,115 @@
+"""Unit tests for the system builder."""
+
+import pytest
+
+from repro import ALGORITHMS, BroadcastSystem, QoSConfig, SystemConfig, build_system
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.n == 3
+        assert config.algorithm == "fd"
+        assert config.lambda_cpu == 1.0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(algorithm="paxos")
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n=0)
+
+    def test_with_seed_copies(self):
+        config = SystemConfig(seed=1)
+        other = config.with_seed(99)
+        assert other.seed == 99
+        assert other.n == config.n
+        assert config.seed == 1
+
+    def test_max_tolerated_crashes(self):
+        assert SystemConfig(n=3).max_tolerated_crashes() == 1
+        assert SystemConfig(n=7).max_tolerated_crashes() == 3
+        assert SystemConfig(n=4).max_tolerated_crashes() == 1
+
+    def test_algorithms_constant(self):
+        assert set(ALGORITHMS) == {"fd", "gm", "gm-nonuniform"}
+
+
+class TestBuildSystem:
+    def test_build_with_overrides(self):
+        system = build_system(n=5, algorithm="gm", seed=3)
+        assert system.config.n == 5
+        assert system.config.algorithm == "gm"
+
+    def test_build_with_config_and_overrides(self):
+        system = build_system(SystemConfig(n=3), seed=42)
+        assert system.config.seed == 42
+
+    def test_every_process_has_failure_detector(self):
+        system = build_system(n=4)
+        for process in system.processes:
+            assert process.failure_detector is not None
+
+    def test_fd_system_has_no_membership(self):
+        system = build_system(algorithm="fd")
+        with pytest.raises(ValueError):
+            system.membership(0)
+
+    def test_gm_system_exposes_membership(self):
+        system = build_system(algorithm="gm")
+        assert system.membership(1).view.members == (0, 1, 2)
+
+    def test_start_is_idempotent(self):
+        system = build_system()
+        system.start()
+        system.start()
+        assert system.sim.now == 0.0
+
+    def test_crash_marks_process(self):
+        system = build_system()
+        system.start()
+        system.crash(2)
+        assert system.processes[2].crashed
+        assert system.correct_processes() == [0, 1]
+
+    def test_broadcast_returns_identifier(self):
+        system = build_system()
+        system.start()
+        bid = system.broadcast(1, "x")
+        assert bid.sender == 1
+        assert bid.seq == 1
+
+    def test_message_stats_exposed(self):
+        system = build_system()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=50.0)
+        stats = system.message_stats()
+        assert stats["messages_sent"] > 0
+
+    def test_delivery_listener_sees_all_processes(self):
+        system = build_system()
+        system.start()
+        seen = set()
+        system.add_delivery_listener(lambda pid, bid, payload: seen.add(pid))
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=50.0)
+        assert seen == {0, 1, 2}
+
+    def test_same_seed_reproduces_exact_delivery_times(self):
+        def trace(seed):
+            system = build_system(SystemConfig(n=3, algorithm="fd", seed=seed))
+            system.start()
+            times = []
+            system.add_delivery_listener(
+                lambda pid, bid, payload: times.append((round(system.sim.now, 9), pid, bid))
+            )
+            for i in range(5):
+                system.broadcast_at(1.0 + 2 * i, i % 3, f"m{i}")
+            system.run(until=200.0)
+            return times
+
+        first = trace(5)
+        assert first == trace(5)
+        assert len(first) == 5 * 3

@@ -1,0 +1,95 @@
+"""Unit tests for the shared core types."""
+
+import pytest
+
+from repro.core.types import AtomicBroadcast, BroadcastID, View
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.process import SimProcess
+
+
+class TestBroadcastID:
+    def test_ordering_is_lexicographic(self):
+        assert BroadcastID(0, 2) < BroadcastID(1, 1)
+        assert BroadcastID(1, 1) < BroadcastID(1, 2)
+
+    def test_string_form(self):
+        assert str(BroadcastID(2, 7)) == "m(2.7)"
+
+    def test_hashable_and_equal(self):
+        assert BroadcastID(1, 1) == BroadcastID(1, 1)
+        assert len({BroadcastID(1, 1), BroadcastID(1, 1)}) == 1
+
+
+class TestView:
+    def test_sequencer_is_first_member(self):
+        assert View(3, (4, 1, 2)).sequencer == 4
+
+    def test_majority(self):
+        assert View(0, (0, 1, 2)).majority() == 2
+        assert View(0, (0, 1, 2, 3)).majority() == 3
+        assert View(0, (0,)).majority() == 1
+
+    def test_string_form(self):
+        assert "view#2" in str(View(2, (0, 1)))
+
+
+class RecordingBroadcast(AtomicBroadcast):
+    protocol = "abcast"
+
+    def broadcast(self, payload):
+        broadcast_id = self._next_broadcast_id()
+        self._notify_broadcast(broadcast_id, payload)
+        return broadcast_id
+
+    def on_message(self, sender, body):
+        pass
+
+
+def make_abcast():
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(n=1))
+    process = SimProcess(sim, network, 0)
+    return RecordingBroadcast(process)
+
+
+class TestAtomicBroadcastBase:
+    def test_broadcast_ids_increase(self):
+        abcast = make_abcast()
+        first = abcast.broadcast("a")
+        second = abcast.broadcast("b")
+        assert first < second
+        assert first.sender == 0
+
+    def test_deliver_is_idempotent(self):
+        abcast = make_abcast()
+        bid = BroadcastID(0, 1)
+        assert abcast._deliver(bid, "x") is True
+        assert abcast._deliver(bid, "x") is False
+        assert abcast.delivered == [(bid, "x")]
+        assert abcast.delivered_count == 1
+
+    def test_delivery_listeners_called_once(self):
+        abcast = make_abcast()
+        seen = []
+        abcast.add_delivery_listener(lambda bid, payload: seen.append(payload))
+        bid = BroadcastID(0, 1)
+        abcast._deliver(bid, "x")
+        abcast._deliver(bid, "x")
+        assert seen == ["x"]
+
+    def test_broadcast_listeners_called(self):
+        abcast = make_abcast()
+        seen = []
+        abcast.add_broadcast_listener(lambda bid, payload: seen.append((bid.seq, payload)))
+        abcast.broadcast("a")
+        abcast.broadcast("b")
+        assert seen == [(1, "a"), (2, "b")]
+
+    def test_has_delivered_and_ids(self):
+        abcast = make_abcast()
+        bid = BroadcastID(0, 1)
+        assert not abcast.has_delivered(bid)
+        abcast._deliver(bid, "x")
+        assert abcast.has_delivered(bid)
+        assert abcast.delivered_ids() == [bid]

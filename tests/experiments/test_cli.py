@@ -1,0 +1,51 @@
+"""Tests for the experiments command-line interface."""
+
+import os
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsCLI:
+    def test_single_quick_figure_to_file(self, tmp_path, capsys):
+        output = tmp_path / "figure4.txt"
+        code = main(
+            [
+                "--figure",
+                "4",
+                "--quick",
+                "--seed",
+                "3",
+                "-o",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "Figure 4" in text
+        assert "FD, n=3" in text
+        captured = capsys.readouterr()
+        assert "Figure 4" in captured.out
+
+    def test_markdown_output_with_checks(self, capsys, monkeypatch, tmp_path):
+        # Patch figure 4 to a tiny sweep so the CLI test stays fast.
+        from repro.experiments import figure4 as figure4_module
+
+        def tiny_run(quick=True, seed=1):
+            return figure4_module.run(
+                quick=True,
+                seed=seed,
+                n_values=(3,),
+                throughputs=(50,),
+                num_messages=20,
+            )
+
+        monkeypatch.setitem(
+            __import__("repro.experiments.__main__", fromlist=["FIGURES"]).FIGURES,
+            "4",
+            tiny_run,
+        )
+        code = main(["--figure", "4", "--quick", "--markdown", "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| throughput [1/s] |" in out
+        assert "check" in out

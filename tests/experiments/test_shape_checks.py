@@ -1,0 +1,82 @@
+"""Unit tests for the shape checks (fed with hand-built figure data)."""
+
+from repro.experiments.series import FigurePoint, FigureResult, Series
+from repro.experiments.shape_checks import (
+    ALL_CHECKS,
+    check_figure4,
+    check_figure6,
+    check_figure8,
+)
+
+
+def series(label, points):
+    built = Series(label=label)
+    for x, mean in points:
+        built.add(FigurePoint(x=x, mean=mean, ci=0.1, samples=10))
+    return built
+
+
+def figure(*all_series):
+    result = FigureResult(figure="t", title="t", x_label="x", y_label="y")
+    for one in all_series:
+        result.add_series(one)
+    return result
+
+
+class TestCheckFigure4:
+    def test_passes_on_identical_increasing_curves(self):
+        fd3 = series("FD, n=3", [(10, 8.0), (300, 20.0)])
+        gm3 = series("GM, n=3", [(10, 8.0), (300, 20.0)])
+        fd7 = series("FD, n=7", [(10, 12.0), (300, 40.0)])
+        gm7 = series("GM, n=7", [(10, 12.0), (300, 40.0)])
+        checks = check_figure4(figure(fd3, gm3, fd7, gm7))
+        assert all(checks.values())
+
+    def test_fails_when_curves_differ(self):
+        fd3 = series("FD, n=3", [(10, 8.0), (300, 20.0)])
+        gm3 = series("GM, n=3", [(10, 16.0), (300, 40.0)])
+        checks = check_figure4(figure(fd3, gm3))
+        assert not checks["fd_equals_gm_n3"]
+
+    def test_fails_when_latency_decreases(self):
+        fd3 = series("FD, n=3", [(10, 20.0), (300, 8.0)])
+        gm3 = series("GM, n=3", [(10, 20.0), (300, 8.0)])
+        checks = check_figure4(figure(fd3, gm3))
+        assert not checks["latency_increases_with_T_n3"]
+
+
+class TestCheckFigure6:
+    def test_detects_gm_blowup_and_joining(self):
+        fd = series("FD, n=3, T=10/s", [(10, 10.0), (10000, 9.0)])
+        gm = series("GM, n=3, T=10/s", [(10, 80.0), (10000, 9.2)])
+        checks = check_figure6(figure(fd, gm))
+        assert checks["gm_much_worse_at_small_tmr_n3_T10"]
+        assert checks["curves_join_at_large_tmr_n3_T10"]
+
+    def test_incomplete_gm_point_counts_as_blowup(self):
+        fd = series("FD, n=3, T=10/s", [(10, 10.0)])
+        gm = Series(label="GM, n=3, T=10/s")
+        gm.add(FigurePoint(x=10, mean=float("nan"), ci=0.0, samples=0, completed=False))
+        checks = check_figure6(figure(fd, gm))
+        assert checks["gm_much_worse_at_small_tmr_n3_T10"]
+
+
+class TestCheckFigure8:
+    def test_fd_at_or_below_gm_passes(self):
+        fd = series("FD, n=3, T_D=0ms", [(10, 10.0), (100, 20.0)])
+        gm = series("GM, n=3, T_D=0ms", [(10, 25.0), (100, 30.0)])
+        checks = check_figure8(figure(fd, gm))
+        assert checks["fd_not_worse_than_gm_td0_n3"]
+        assert checks["fd_wins_at_low_T_n3"]
+        assert checks["overhead_moderate_n3"]
+
+    def test_huge_overhead_flagged(self):
+        fd = series("FD, n=3, T_D=0ms", [(10, 900.0)])
+        gm = series("GM, n=3, T_D=0ms", [(10, 950.0)])
+        checks = check_figure8(figure(fd, gm))
+        assert not checks["overhead_moderate_n3"]
+
+
+class TestRegistry:
+    def test_all_checks_registered(self):
+        assert set(ALL_CHECKS) == {"4", "5", "6", "7", "8"}

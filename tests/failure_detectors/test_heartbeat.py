@@ -1,0 +1,76 @@
+"""Unit tests for the concrete heartbeat failure detector (extension)."""
+
+import pytest
+
+from repro.failure_detectors.heartbeat import HeartbeatConfig, HeartbeatFailureDetector
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.process import SimProcess
+
+
+def build(n=3, period=10.0, timeout=30.0):
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(n=n))
+    processes = [SimProcess(sim, network, pid) for pid in range(n)]
+    detectors = [
+        HeartbeatFailureDetector(process, HeartbeatConfig(period=period, timeout=timeout))
+        for process in processes
+    ]
+    for process in processes:
+        process.start()
+    return sim, network, processes, detectors
+
+
+class TestHeartbeatConfig:
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(period=0.0)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(timeout=0.0)
+
+    def test_check_interval_defaults_to_period(self):
+        config = HeartbeatConfig(period=7.0, timeout=20.0)
+        assert config.effective_check_interval == 7.0
+        explicit = HeartbeatConfig(period=7.0, timeout=20.0, check_interval=3.0)
+        assert explicit.effective_check_interval == 3.0
+
+
+class TestHeartbeatDetector:
+    def test_no_suspicions_without_crash(self):
+        sim, _network, _processes, detectors = build()
+        sim.run(until=500.0)
+        for detector in detectors:
+            assert detector.suspected() == set()
+
+    def test_crashed_process_eventually_suspected(self):
+        sim, _network, processes, detectors = build()
+        sim.schedule(100.0, processes[2].crash)
+        sim.run(until=200.0)
+        assert detectors[0].is_suspected(2)
+        assert detectors[1].is_suspected(2)
+
+    def test_detection_latency_bounded_by_timeout_plus_period(self):
+        sim, _network, processes, detectors = build(period=10.0, timeout=30.0)
+        detection = {}
+
+        def listener(pid, suspected):
+            if suspected and pid not in detection:
+                detection[pid] = sim.now
+
+        detectors[0].add_listener(listener)
+        sim.schedule(100.0, processes[1].crash)
+        sim.run(until=300.0)
+        assert 1 in detection
+        assert detection[1] - 100.0 <= 30.0 + 2 * 10.0 + 5.0
+
+    def test_heartbeats_generate_network_traffic(self):
+        sim, network, _processes, _detectors = build()
+        sim.run(until=100.0)
+        assert network.stats.multicasts_sent > 0
+
+    def test_correct_processes_never_suspected_long_run(self):
+        sim, _network, _processes, detectors = build(period=5.0, timeout=25.0)
+        sim.run(until=2000.0)
+        assert all(not detector.suspected() for detector in detectors)

@@ -1,0 +1,80 @@
+"""Unit tests for the failure detector interface."""
+
+from repro.failure_detectors.interface import FailureDetector, SuspicionLog
+
+
+class TestFailureDetector:
+    def test_monitors_everyone_but_owner(self):
+        detector = FailureDetector(1, range(4))
+        assert detector.monitored == {0, 2, 3}
+
+    def test_initially_trusts_everyone(self):
+        detector = FailureDetector(0, range(3))
+        assert detector.suspected() == set()
+        assert detector.trusted() == {1, 2}
+
+    def test_force_suspect_and_trust(self):
+        detector = FailureDetector(0, range(3))
+        detector.force_suspect(1)
+        assert detector.is_suspected(1)
+        detector.force_trust(1)
+        assert not detector.is_suspected(1)
+
+    def test_listeners_notified_on_change_only(self):
+        detector = FailureDetector(0, range(3))
+        events = []
+        detector.add_listener(lambda pid, suspected: events.append((pid, suspected)))
+        detector.force_suspect(1)
+        detector.force_suspect(1)  # no change, no event
+        detector.force_trust(1)
+        assert events == [(1, True), (1, False)]
+
+    def test_listener_removal(self):
+        detector = FailureDetector(0, range(3))
+        events = []
+        listener = lambda pid, suspected: events.append(pid)
+        detector.add_listener(listener)
+        detector.remove_listener(listener)
+        detector.remove_listener(listener)  # idempotent
+        detector.force_suspect(1)
+        assert events == []
+
+    def test_owner_never_suspected(self):
+        detector = FailureDetector(0, range(3))
+        detector.force_suspect(0)
+        assert not detector.is_suspected(0)
+
+    def test_unmonitored_process_ignored(self):
+        detector = FailureDetector(0, [1])
+        detector.force_suspect(5)
+        assert detector.suspected() == set()
+
+    def test_event_counters(self):
+        detector = FailureDetector(0, range(3))
+        detector.force_suspect(1)
+        detector.force_trust(1)
+        detector.force_suspect(2)
+        assert detector.suspicion_events == 2
+        assert detector.trust_events == 1
+
+
+class TestSuspicionLog:
+    def test_records_transitions(self):
+        log = SuspicionLog()
+        log.record(1.0, 2, True)
+        log.record(5.0, 2, False)
+        log.record(3.0, 1, True)
+        assert log.transitions_for(2) == [(1.0, 2, True), (5.0, 2, False)]
+
+    def test_mistake_durations(self):
+        log = SuspicionLog()
+        log.record(1.0, 2, True)
+        log.record(4.0, 2, False)
+        log.record(10.0, 2, True)
+        log.record(12.5, 2, False)
+        assert log.mistake_durations(2) == [3.0, 2.5]
+
+    def test_open_mistake_not_counted(self):
+        log = SuspicionLog()
+        log.record(1.0, 2, True)
+        assert log.mistake_durations(2) == []

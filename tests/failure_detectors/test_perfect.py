@@ -1,0 +1,37 @@
+"""Unit tests for the perfect failure detector fabric."""
+
+from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+
+
+def build(n=3, detection_time=0.0):
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(n=n))
+    for pid in range(n):
+        network.attach(pid, lambda p, m: None)
+    fabric = PerfectFailureDetectorFabric(sim, network, detection_time=detection_time)
+    fabric.start()
+    return sim, network, fabric
+
+
+class TestPerfectFailureDetector:
+    def test_never_suspects_correct_processes(self):
+        sim, _network, fabric = build()
+        sim.run(until=100_000.0)
+        for pid in range(3):
+            assert fabric.detector(pid).suspected() == set()
+
+    def test_detects_crash(self):
+        sim, network, fabric = build()
+        sim.schedule(5.0, network.crash, 1)
+        sim.run(until=10.0)
+        assert fabric.detector(0).is_suspected(1)
+
+    def test_detection_delay_respected(self):
+        sim, network, fabric = build(detection_time=40.0)
+        sim.schedule(5.0, network.crash, 1)
+        sim.run(until=44.0)
+        assert not fabric.detector(0).is_suspected(1)
+        sim.run(until=45.0)
+        assert fabric.detector(0).is_suspected(1)

@@ -1,0 +1,73 @@
+"""Unit tests for summary statistics."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import (
+    Summary,
+    interarrival_from_throughput,
+    summarize,
+    throughput_from_interarrival,
+)
+
+
+class TestSummarize:
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci_halfwidth == float("inf")
+
+    def test_mean_and_std(self):
+        summary = summarize([2.0, 4.0, 6.0, 8.0])
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.std == pytest.approx(2.581988897)
+
+    def test_min_max(self):
+        summary = summarize([3.0, 1.0, 7.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 7.0
+
+    def test_confidence_interval_contains_mean(self):
+        summary = summarize(range(100))
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_identical_values_have_zero_interval(self):
+        summary = summarize([4.0] * 20)
+        assert summary.ci_halfwidth == pytest.approx(0.0)
+
+    def test_interval_shrinks_with_more_samples(self):
+        small = summarize([1.0, 2.0, 3.0, 4.0, 5.0] * 2)
+        large = summarize([1.0, 2.0, 3.0, 4.0, 5.0] * 50)
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_string_rendering(self):
+        assert "no samples" in str(summarize([]))
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+    def test_known_t_interval(self):
+        # For n=5 samples [1..5]: mean 3, std sqrt(2.5), t_{0.975,4} = 2.776.
+        summary = summarize([1, 2, 3, 4, 5])
+        expected = 2.7764451052 * math.sqrt(2.5) / math.sqrt(5)
+        assert summary.ci_halfwidth == pytest.approx(expected, rel=1e-3)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        assert throughput_from_interarrival(interarrival_from_throughput(250.0)) == pytest.approx(250.0)
+
+    def test_throughput_to_interarrival(self):
+        assert interarrival_from_throughput(100.0) == pytest.approx(10.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            interarrival_from_throughput(0.0)
+        with pytest.raises(ValueError):
+            throughput_from_interarrival(-1.0)

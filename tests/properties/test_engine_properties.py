@@ -1,0 +1,56 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestEngineProperties:
+    @given(delays=delays)
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            simulator.schedule(delay, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=delays)
+    @settings(max_examples=60, deadline=None)
+    def test_end_time_is_max_delay(self, delays):
+        simulator = Simulator()
+        for delay in delays:
+            simulator.schedule(delay, lambda: None)
+        end = simulator.run()
+        assert end == max(delays)
+
+    @given(delays=delays, until=st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_never_executes_later_events(self, delays, until):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            simulator.schedule(delay, lambda d=delay: fired.append(d))
+        simulator.run(until=until)
+        assert all(delay <= until for delay in fired)
+        expected = len([d for d in delays if d <= until])
+        assert len(fired) == expected
+
+    @given(delays=delays)
+    @settings(max_examples=40, deadline=None)
+    def test_cancelling_everything_executes_nothing(self, delays):
+        simulator = Simulator()
+        handles = [simulator.schedule(delay, lambda: None) for delay in delays]
+        for handle in handles:
+            handle.cancel()
+        simulator.run()
+        assert simulator.events_processed == 0

@@ -1,0 +1,115 @@
+"""Property-based tests of the atomic broadcast invariants.
+
+Random workloads, crash schedules and failure detector behaviours are
+generated with hypothesis; for every generated scenario the uniform atomic
+broadcast properties must hold for both algorithms:
+
+* total order (delivery sequences are prefixes of one another),
+* integrity (no duplicates, no invented messages),
+* validity (messages from correct senders reach every correct process).
+
+The scenarios are kept small so the whole suite stays fast, but each example
+still runs a complete simulation with contention, crashes and suspicions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QoSConfig, SystemConfig, build_system
+from tests.conftest import assert_no_duplicates, assert_prefix_consistent
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.sampled_from([3, 5]))
+    algorithm = draw(st.sampled_from(["fd", "gm"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    message_count = draw(st.integers(min_value=1, max_value=12))
+    arrivals = []
+    time = 1.0
+    for index in range(message_count):
+        time += draw(st.floats(min_value=0.1, max_value=40.0))
+        sender = draw(st.integers(min_value=0, max_value=n - 1))
+        arrivals.append((time, sender, f"m{index}"))
+    crash = draw(st.booleans())
+    crash_plan = []
+    if crash:
+        crash_time = draw(st.floats(min_value=5.0, max_value=time + 20.0))
+        crash_pid = draw(st.integers(min_value=0, max_value=n - 1))
+        crash_plan.append((crash_time, crash_pid))
+    mistakes = draw(st.booleans())
+    if mistakes:
+        qos = QoSConfig(
+            detection_time=draw(st.sampled_from([0.0, 10.0, 30.0])),
+            mistake_recurrence_time=draw(st.sampled_from([150.0, 400.0, 1000.0])),
+            mistake_duration=draw(st.sampled_from([0.0, 5.0, 30.0])),
+        )
+    else:
+        qos = QoSConfig(detection_time=draw(st.sampled_from([0.0, 10.0, 30.0])))
+    return n, algorithm, seed, arrivals, crash_plan, qos
+
+
+def run_generated(n, algorithm, seed, arrivals, crash_plan, qos):
+    system = build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, fd=qos))
+    system.start()
+    for time, sender, payload in arrivals:
+        system.broadcast_at(time, sender, payload)
+    for time, pid in crash_plan:
+        system.crash_at(time, pid)
+    system.run(until=60_000.0, max_events=1_500_000)
+    return system
+
+
+class TestAtomicBroadcastProperties:
+    @given(scenario=scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_total_order_and_integrity(self, scenario):
+        n, algorithm, seed, arrivals, crash_plan, qos = scenario
+        system = run_generated(n, algorithm, seed, arrivals, crash_plan, qos)
+        sequences = system.delivery_sequences()
+        assert_prefix_consistent(sequences)
+        assert_no_duplicates(sequences)
+        # Integrity: only broadcast messages are delivered.
+        sent_payloads = {payload for _t, _s, payload in arrivals}
+        for pid in range(n):
+            for _bid, payload in system.abcast(pid).delivered:
+                assert payload in sent_payloads
+
+    @given(scenario=scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_validity_for_correct_senders(self, scenario):
+        n, algorithm, seed, arrivals, crash_plan, qos = scenario
+        system = run_generated(n, algorithm, seed, arrivals, crash_plan, qos)
+        crashed = {pid for _t, pid in crash_plan}
+        correct = [pid for pid in range(n) if pid not in crashed]
+        if len(correct) <= n // 2:
+            return  # no liveness guarantee without a correct majority
+        crash_times = {pid: time for time, pid in crash_plan}
+        must_deliver = {
+            payload
+            for time, sender, payload in arrivals
+            if sender not in crashed or time < crash_times.get(sender, float("inf"))
+        }
+        # Messages broadcast by processes that never crash must reach every
+        # correct process (messages from senders that crash later might or
+        # might not make it, so only never-crashed senders are required).
+        required = {
+            payload for time, sender, payload in arrivals if sender not in crashed
+        }
+        for pid in correct:
+            delivered = {payload for _bid, payload in system.abcast(pid).delivered}
+            assert required <= delivered
+
+    @given(scenario=scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_deliveries_identical_across_correct_processes(self, scenario):
+        n, algorithm, seed, arrivals, crash_plan, qos = scenario
+        system = run_generated(n, algorithm, seed, arrivals, crash_plan, qos)
+        crashed = {pid for _t, pid in crash_plan}
+        correct = [pid for pid in range(n) if pid not in crashed]
+        if len(correct) <= n // 2:
+            return
+        sequences = {pid: system.abcast(pid).delivered_ids() for pid in correct}
+        reference = sequences[correct[0]]
+        for pid in correct[1:]:
+            assert sequences[pid] == reference

@@ -1,0 +1,72 @@
+"""Tests for the crash-transient scenario driver."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.scenarios.transient import run_crash_transient, sweep_crash_transient
+
+
+def config(algorithm="fd", n=3, seed=41):
+    return SystemConfig(n=n, algorithm=algorithm, seed=seed)
+
+
+class TestCrashTransient:
+    def test_tagged_message_delivered_despite_crash(self, algorithm):
+        result = run_crash_transient(
+            config(algorithm), throughput=50, detection_time=10.0, num_runs=3
+        )
+        assert result.runs == 3
+        assert result.failed_runs == 0
+
+    def test_latency_exceeds_detection_time(self, algorithm):
+        result = run_crash_transient(
+            config(algorithm), throughput=50, detection_time=50.0, num_runs=3
+        )
+        assert all(latency > 50.0 for latency in result.latencies)
+        assert result.overhead_summary().mean > 0
+
+    def test_default_sender_is_last_process(self):
+        result = run_crash_transient(
+            config("fd"), throughput=50, detection_time=0.0, num_runs=1
+        )
+        assert result.sender == 2
+        assert result.crashed_process == 0
+
+    def test_sender_must_differ_from_crashed(self):
+        with pytest.raises(ValueError):
+            run_crash_transient(
+                config("fd"),
+                throughput=50,
+                detection_time=0.0,
+                crashed_process=1,
+                sender=1,
+                num_runs=1,
+            )
+
+    def test_runs_use_different_seeds(self, algorithm):
+        result = run_crash_transient(
+            config(algorithm), throughput=200, detection_time=10.0, num_runs=4
+        )
+        # Under background load the latencies should not all be identical.
+        assert len(set(round(v, 6) for v in result.latencies)) >= 2
+
+    def test_non_coordinator_crash_is_cheap_for_fd(self):
+        coordinator = run_crash_transient(
+            config("fd"), throughput=50, detection_time=10.0, crashed_process=0, num_runs=3
+        )
+        other = run_crash_transient(
+            config("fd"), throughput=50, detection_time=10.0, crashed_process=2, sender=1, num_runs=3
+        )
+        assert other.latency_summary().mean <= coordinator.latency_summary().mean
+
+    def test_sweep_covers_requested_pairs(self):
+        results = sweep_crash_transient(
+            config("fd"),
+            throughput=50,
+            detection_time=0.0,
+            crashed_processes=[0],
+            senders=[1, 2],
+            num_runs=1,
+        )
+        assert len(results) == 2
+        assert {result.sender for result in results} == {1, 2}

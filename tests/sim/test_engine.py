@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_single_event(self, simulator):
+        fired = []
+        simulator.schedule(5.0, fired.append, "a")
+        simulator.run()
+        assert fired == ["a"]
+        assert simulator.now == 5.0
+
+    def test_events_run_in_time_order(self, simulator):
+        order = []
+        simulator.schedule(3.0, order.append, "late")
+        simulator.schedule(1.0, order.append, "early")
+        simulator.schedule(2.0, order.append, "middle")
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_run_in_scheduling_order(self, simulator):
+        order = []
+        for label in ("first", "second", "third"):
+            simulator.schedule(1.0, order.append, label)
+        simulator.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_at_absolute_time(self, simulator):
+        times = []
+        simulator.schedule_at(7.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [7.5]
+
+    def test_events_can_schedule_more_events(self, simulator):
+        seen = []
+
+        def chain(depth):
+            seen.append(simulator.now)
+            if depth > 0:
+                simulator.schedule(1.0, chain, depth - 1)
+
+        simulator.schedule(1.0, chain, 3)
+        simulator.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+
+    def test_zero_delay_event_runs_at_current_time(self, simulator):
+        seen = []
+        simulator.schedule(2.0, lambda: simulator.schedule(0.0, lambda: seen.append(simulator.now)))
+        simulator.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self, simulator):
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_events_processed_counter(self, simulator):
+        for _ in range(4):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        simulator.run()
+        assert simulator.events_processed == 0
+
+    def test_other_events_still_fire_after_cancel(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "cancelled")
+        simulator.schedule(2.0, fired.append, "kept")
+        handle.cancel()
+        simulator.run()
+        assert fired == ["kept"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, simulator):
+        fired = []
+        simulator.schedule(1.0, fired.append, "early")
+        simulator.schedule(10.0, fired.append, "late")
+        end = simulator.run(until=5.0)
+        assert fired == ["early"]
+        assert end == 5.0
+        assert simulator.pending_events == 1
+
+    def test_event_exactly_at_until_is_executed(self, simulator):
+        fired = []
+        simulator.schedule(5.0, fired.append, "edge")
+        simulator.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_can_be_resumed(self, simulator):
+        fired = []
+        simulator.schedule(1.0, fired.append, "a")
+        simulator.schedule(10.0, fired.append, "b")
+        simulator.run(until=5.0)
+        simulator.run()
+        assert fired == ["a", "b"]
+
+    def test_stop_from_within_event(self, simulator):
+        fired = []
+        simulator.schedule(1.0, lambda: (fired.append("a"), simulator.stop()))
+        simulator.schedule(2.0, fired.append, "b")
+        simulator.run()
+        assert fired == ["a"]
+        assert simulator.pending_events == 1
+
+    def test_max_events_limit(self, simulator):
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=3)
+        assert simulator.events_processed == 3
+
+    def test_time_advances_to_until_when_queue_empty(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        end = simulator.run(until=50.0)
+        assert end == 50.0
+
+    def test_reset_clears_state(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.pending_events == 0
+        assert simulator.events_processed == 0
+
+    def test_reentrant_run_rejected(self, simulator):
+        def try_run():
+            with pytest.raises(SimulationError):
+                simulator.run()
+
+        simulator.schedule(1.0, try_run)
+        simulator.run()
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_traces(self):
+        def trace():
+            sim = Simulator()
+            events = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 + 0.5, events.append, i)
+            sim.run()
+            return events, sim.now
+
+        assert trace() == trace()

@@ -1,0 +1,190 @@
+"""Unit tests for the contention-aware network model (paper Fig. 2)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import Network, NetworkConfig
+
+
+class Collector:
+    """Records (time, destination, message) for every delivery."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.deliveries = []
+
+    def callback(self, pid, message):
+        self.deliveries.append((self.sim.now, pid, message))
+
+    def times_for(self, pid):
+        return [time for time, dest, _m in self.deliveries if dest == pid]
+
+
+def build(n=3, lambda_cpu=1.0, network_time=1.0):
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(n=n, lambda_cpu=lambda_cpu, network_time=network_time))
+    collector = Collector(sim)
+    for pid in range(n):
+        network.attach(pid, collector.callback)
+    return sim, network, collector
+
+
+class TestConfigValidation:
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n=0)
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n=2, lambda_cpu=-1.0)
+
+    def test_rejects_zero_network_time(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n=2, network_time=0.0)
+
+
+class TestTiming:
+    def test_unicast_takes_two_lambda_plus_network(self):
+        sim, network, collector = build(lambda_cpu=1.0)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        # 1 (CPU_0) + 1 (network) + 1 (CPU_1) = 3 time units.
+        assert collector.times_for(1) == [3.0]
+
+    def test_lambda_scales_cpu_cost(self):
+        sim, network, collector = build(lambda_cpu=2.5)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.times_for(1) == [pytest.approx(6.0)]
+
+    def test_lambda_zero_only_network_cost(self):
+        sim, network, collector = build(lambda_cpu=0.0)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.times_for(1) == [1.0]
+
+    def test_multicast_occupies_network_once(self):
+        sim, network, collector = build(n=4)
+        network.send(Message(0, (1, 2, 3), "p", "x"))
+        sim.run()
+        # All destinations receive at the same time: the network is used once.
+        assert collector.times_for(1) == [3.0]
+        assert collector.times_for(2) == [3.0]
+        assert collector.times_for(3) == [3.0]
+        assert network.network_resource.jobs_served == 1
+
+    def test_local_destination_delivered_without_resource_usage(self):
+        sim, network, collector = build()
+        network.send(Message(0, (0,), "p", "x"))
+        sim.run()
+        assert collector.times_for(0) == [0.0]
+        assert network.cpu(0).jobs_served == 0
+        assert network.network_resource.jobs_served == 0
+
+    def test_self_plus_remote_destination(self):
+        sim, network, collector = build()
+        network.send(Message(0, (0, 1), "p", "x"))
+        sim.run()
+        assert collector.times_for(0) == [0.0]
+        assert collector.times_for(1) == [3.0]
+
+    def test_sender_cpu_serializes_two_sends(self):
+        sim, network, collector = build()
+        network.send(Message(0, (1,), "p", "first"))
+        network.send(Message(0, (1,), "p", "second"))
+        sim.run()
+        # The second message waits one time unit behind the first on CPU_0,
+        # then the stages pipeline: it arrives exactly one unit later.
+        assert collector.times_for(1) == [3.0, 4.0]
+
+    def test_network_is_shared_between_senders(self):
+        sim, network, collector = build()
+        network.send(Message(0, (2,), "p", "from0"))
+        network.send(Message(1, (2,), "p", "from1"))
+        sim.run()
+        times = sorted(collector.times_for(2))
+        # Both finish their own CPU at t=1, then serialize on the shared
+        # network (1->2 and 2->3) and pipeline through CPU_2.
+        assert times == [3.0, 4.0]
+
+    def test_receiver_cpu_serializes_deliveries(self):
+        sim, network, collector = build(n=4)
+        network.send(Message(0, (3,), "p", "a"))
+        network.send(Message(1, (3,), "p", "b"))
+        network.send(Message(2, (3,), "p", "c"))
+        sim.run()
+        # The three messages serialize on the shared network and then on the
+        # receiving CPU, one time unit apart.
+        assert sorted(collector.times_for(3)) == [3.0, 4.0, 5.0]
+
+
+class TestCrashes:
+    def test_crashed_sender_messages_dropped(self):
+        sim, network, collector = build()
+        network.crash(0)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.deliveries == []
+        assert network.stats.dropped_sender_crashed == 1
+
+    def test_messages_already_on_cpu_still_sent_after_crash(self):
+        sim, network, collector = build()
+        network.send(Message(0, (1,), "p", "in-flight"))
+        sim.schedule(0.5, network.crash, 0)
+        sim.run()
+        # Software crash semantics: the message was already handed to CPU_0.
+        assert collector.times_for(1) == [3.0]
+
+    def test_crashed_receiver_gets_nothing(self):
+        sim, network, collector = build()
+        network.crash(1)
+        network.send(Message(0, (1, 2), "p", "x"))
+        sim.run()
+        assert collector.times_for(1) == []
+        assert collector.times_for(2) == [3.0]
+        assert network.stats.dropped_receiver_crashed == 1
+
+    def test_crash_is_idempotent_and_listener_called_once(self):
+        sim, network, _collector = build()
+        crashes = []
+        network.add_crash_listener(lambda pid, time: crashes.append((pid, time)))
+        network.crash(1)
+        network.crash(1)
+        assert crashes == [(1, 0.0)]
+        assert network.crash_time(1) == 0.0
+        assert network.crash_time(2) is None
+
+    def test_correct_processes_listing(self):
+        _sim, network, _collector = build(n=4)
+        network.crash(2)
+        assert network.correct_processes() == [0, 1, 3]
+        assert network.crashed_processes() == {2}
+        assert network.is_crashed(2)
+        assert not network.is_crashed(0)
+
+
+class TestStatsAndValidation:
+    def test_stats_count_unicasts_and_multicasts(self):
+        sim, network, _collector = build(n=4)
+        network.send(Message(0, (1,), "p", "u"))
+        network.send(Message(0, (1, 2, 3), "p", "m"))
+        sim.run()
+        stats = network.stats.as_dict()
+        assert stats["unicasts_sent"] == 1
+        assert stats["multicasts_sent"] == 1
+        assert stats["messages_sent"] == 2
+        assert stats["deliveries"] == 4
+
+    def test_invalid_destination_rejected(self):
+        _sim, network, _collector = build()
+        with pytest.raises(ValueError):
+            network.send(Message(0, (9,), "p", "x"))
+
+    def test_unattached_destination_raises(self):
+        sim = Simulator()
+        network = Network(sim, NetworkConfig(n=2))
+        network.attach(0, lambda pid, m: None)
+        network.send(Message(0, (1,), "p", "x"))
+        with pytest.raises(RuntimeError):
+            sim.run()

@@ -1,0 +1,67 @@
+"""Unit tests for the named random streams."""
+
+import math
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(1).stream("workload")
+        b = RandomStreams(1).stream("workload")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("workload")
+        b = RandomStreams(2).stream("workload")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(1)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_consuming_one_stream_does_not_affect_another(self):
+        reference = RandomStreams(9)
+        expected = [reference.stream("b").random() for _ in range(5)]
+
+        streams = RandomStreams(9)
+        for _ in range(100):
+            streams.stream("a").random()
+        actual = [streams.stream("b").random() for _ in range(5)]
+        assert actual == expected
+
+    def test_seed_property(self):
+        assert RandomStreams(42).seed == 42
+
+    def test_exponential_zero_mean(self, rng):
+        assert rng.exponential("fd", 0.0) == 0.0
+
+    def test_exponential_infinite_mean(self, rng):
+        assert rng.exponential("fd", float("inf")) == float("inf")
+
+    def test_exponential_negative_mean_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.exponential("fd", -1.0)
+
+    def test_exponential_mean_is_approximately_right(self):
+        streams = RandomStreams(7)
+        samples = [streams.exponential("x", 100.0) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 90.0 < mean < 110.0
+
+    def test_uniform_choice(self, rng):
+        items = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.uniform_choice("pick", items) in items
+
+    def test_uniform_choice_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.uniform_choice("pick", [])
