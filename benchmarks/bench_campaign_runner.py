@@ -1,0 +1,39 @@
+"""Benchmark the campaign engine: parallel fan-out and warm-cache replay.
+
+Runs a reduced Figure 4 grid three ways -- serial, through a process pool,
+and from a warm JSONL cache -- and prints the identical table each mode
+produces.  On a multi-core machine the ``jobs`` run finishes roughly
+``min(jobs, points)`` times faster than serial; the cached run is near-free.
+"""
+
+import shutil
+import tempfile
+
+from repro.campaigns import CampaignRunner, ResultStore
+from repro.experiments import figure4
+from repro.experiments.report import format_figure
+
+GRID = dict(quick=True, seed=1, n_values=(3,), throughputs=(10, 50, 100, 200), num_messages=80)
+
+
+def test_campaign_modes_agree(run_once):
+    cache_dir = tempfile.mkdtemp(prefix="campaign-bench-")
+    try:
+        serial = figure4.run(**GRID)
+        parallel = run_once(figure4.run, runner=CampaignRunner(jobs=4), **GRID)
+
+        cold_runner = CampaignRunner(jobs=1, store=ResultStore(cache_dir))
+        figure4.run(runner=cold_runner, **GRID)
+        warm_runner = CampaignRunner(jobs=1, store=ResultStore(cache_dir))
+        warm = figure4.run(runner=warm_runner, **GRID)
+
+        print()
+        print(format_figure(parallel))
+        assert format_figure(parallel) == format_figure(serial)
+        assert format_figure(warm) == format_figure(serial)
+        assert warm_runner.last_run.executed == 0
+        assert warm_runner.last_run.cache_hits == len(
+            figure4.build_campaign(**GRID).points()
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

@@ -16,7 +16,7 @@ Usage::
     python examples/failure_detector_tuning.py
 """
 
-from repro import QoSConfig, SystemConfig, build_system
+from repro import SystemConfig
 from repro.failure_detectors.heartbeat import HeartbeatConfig, HeartbeatFailureDetector
 from repro.scenarios.steady import run_suspicion_steady
 from repro.sim.engine import Simulator

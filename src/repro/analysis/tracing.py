@@ -12,7 +12,7 @@ debugging protocol changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Counter, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.types import BroadcastID
 

@@ -1,0 +1,70 @@
+"""Declarative experiment campaigns: parallel execution, caching, resumption.
+
+A *campaign* is a declarative grid of scenario runs (the points of a figure,
+an ad-hoc parameter sweep, a multi-seed replication).  The subsystem splits
+the concern that used to live in hand-written nested loops into four layers:
+
+* :mod:`repro.campaigns.spec`      -- :class:`PointSpec` / :class:`SeriesSpec`
+  / :class:`CampaignSpec` describe *what* to run: scenario kind,
+  ``SystemConfig`` fields, sweep axes and seeds, with deterministic per-point
+  seed derivation following the :class:`repro.sim.rng.RandomStreams`
+  convention;
+* :mod:`repro.campaigns.runner`    -- :class:`CampaignRunner` executes the
+  points, serially or through a ``ProcessPoolExecutor`` (``jobs=N``), with
+  bit-identical results either way;
+* :mod:`repro.campaigns.store`     -- :class:`ResultStore` caches completed
+  points in an append-only JSONL file keyed by a stable hash of the point
+  configuration, which makes campaigns crash-safe and resumable;
+* :mod:`repro.campaigns.aggregate` -- folds cached records back into the
+  ``ScenarioResult`` / ``TransientResult`` / ``Series`` / ``FigureResult``
+  containers the experiments and reports operate on.
+
+``python -m repro.campaigns`` runs ad-hoc grids from the command line; the
+figure modules of :mod:`repro.experiments` declare their sweeps as campaigns
+and accept a shared runner (``--jobs`` / ``--cache-dir``).
+"""
+
+from repro.campaigns.aggregate import (
+    figure_from_campaign,
+    merge_scenario_results,
+    merge_transient_results,
+    run_campaign_figure,
+    series_from_spec,
+)
+from repro.campaigns.records import record_to_result, result_to_record
+from repro.campaigns.runner import CampaignRun, CampaignRunner, execute_point
+from repro.campaigns.spec import (
+    SCENARIO_KINDS,
+    CampaignSpec,
+    PointSpec,
+    SeriesPointSpec,
+    SeriesSpec,
+    crashed_processes,
+    derive_seed,
+    grid,
+    replicate_seeds,
+)
+from repro.campaigns.store import ResultStore
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "CampaignRun",
+    "CampaignRunner",
+    "CampaignSpec",
+    "PointSpec",
+    "ResultStore",
+    "SeriesPointSpec",
+    "SeriesSpec",
+    "crashed_processes",
+    "derive_seed",
+    "execute_point",
+    "figure_from_campaign",
+    "grid",
+    "merge_scenario_results",
+    "merge_transient_results",
+    "record_to_result",
+    "replicate_seeds",
+    "result_to_record",
+    "run_campaign_figure",
+    "series_from_spec",
+]

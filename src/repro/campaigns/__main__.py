@@ -1,0 +1,128 @@
+"""Command-line entry point: run ad-hoc campaign grids.
+
+Examples::
+
+    python -m repro.campaigns --scenario normal-steady --n 3 7 \\
+        --throughputs 10 100 300 --jobs 4 --cache-dir .campaign-cache
+
+    python -m repro.campaigns --scenario suspicion-steady --tmr 100 \\
+        --throughputs 10 --seeds 1 2 3 --messages 200
+
+Every completed point is cached under ``--cache-dir`` (when given), so
+re-running the same grid -- or a larger grid that contains it -- only
+simulates the missing points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.campaigns.aggregate import merge_scenario_results, merge_transient_results
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import SCENARIO_KINDS, grid
+from repro.campaigns.store import ResultStore
+from repro.scenarios.results import TransientResult
+
+
+def main(argv: List[str] = None) -> int:
+    """Build the requested grid, run it and print one line per point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        default="normal-steady",
+        choices=SCENARIO_KINDS,
+        help="scenario kind of every point (default: normal-steady)",
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", default=["fd", "gm"], help="algorithms to sweep"
+    )
+    parser.add_argument(
+        "--n", nargs="+", type=int, default=[3], help="system sizes to sweep"
+    )
+    parser.add_argument(
+        "--throughputs",
+        nargs="+",
+        type=float,
+        default=[10.0, 100.0],
+        help="throughput axis [1/s]",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[1], help="seed replicas per point"
+    )
+    parser.add_argument(
+        "--messages", type=int, default=100, help="measured messages per steady point"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=8, help="independent runs per transient point"
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=1, help="crash count (crash-steady)"
+    )
+    parser.add_argument(
+        "--tmr", type=float, default=1000.0, help="mean T_MR in ms (suspicion-steady)"
+    )
+    parser.add_argument(
+        "--tm", type=float, default=0.0, help="mean T_M in ms (suspicion-steady)"
+    )
+    parser.add_argument(
+        "--detection-time", type=float, default=0.0, help="T_D in ms (crash-transient)"
+    )
+    parser.add_argument(
+        "--crashed-process", type=int, default=0, help="crashed pid (crash-transient)"
+    )
+    parser.add_argument("--name", default="adhoc", help="campaign name")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
+    parser.add_argument("-o", "--output", default=None, help="write the report to a file")
+    args = parser.parse_args(argv)
+
+    campaign = grid(
+        args.scenario,
+        name=args.name,
+        algorithms=args.algorithms,
+        n_values=args.n,
+        throughputs=args.throughputs,
+        seeds=args.seeds,
+        num_messages=args.messages,
+        num_runs=args.runs,
+        crashes=args.crashes,
+        mistake_recurrence_time=args.tmr,
+        mistake_duration=args.tm,
+        detection_time=args.detection_time,
+        crashed_process=args.crashed_process,
+    )
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    runner = CampaignRunner(jobs=args.jobs, store=store)
+    started = time.time()
+    run = runner.run(campaign)
+    elapsed = time.time() - started
+
+    total = run.executed + run.cache_hits
+    lines: List[str] = [
+        f"campaign {campaign.name!r}: {total} points "
+        f"({run.executed} simulated, {run.cache_hits} from cache) in {elapsed:.1f} s"
+    ]
+    for series in campaign.series:
+        lines.append(f"  series: {series.label}")
+        for series_point in series.points:
+            results = [run.result(point) for point in series_point.points]
+            if isinstance(results[0], TransientResult):
+                merged = merge_transient_results(results)
+            else:
+                merged = merge_scenario_results(results)
+            lines.append(f"    {merged.describe()}")
+
+    report = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

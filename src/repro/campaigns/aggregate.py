@@ -1,0 +1,119 @@
+"""Fold campaign records back into the experiment result containers.
+
+The figure modules declare *what* to simulate (a :class:`CampaignSpec`); this
+module turns the runner's records back into the ``Series`` /
+``FigureResult`` containers the report layer renders.  Multi-seed replicas of
+an x position are pooled (latencies concatenated in seed order) before
+summarising, which tightens the confidence intervals without any figure-level
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.campaigns.runner import CampaignRun, CampaignRunner
+from repro.campaigns.spec import CampaignSpec, SeriesSpec
+from repro.experiments.helpers import point_from_scenario, point_from_transient
+from repro.experiments.series import FigureResult, Series
+from repro.scenarios.results import ScenarioResult, TransientResult
+
+
+def merge_scenario_results(results: Sequence[ScenarioResult]) -> ScenarioResult:
+    """Pool steady-state replicas of one operating point into one result."""
+    first = results[0]
+    if len(results) == 1:
+        return first
+    merged = ScenarioResult(
+        scenario=first.scenario,
+        algorithm=first.algorithm,
+        n=first.n,
+        throughput=first.throughput,
+        params=dict(first.params, replicas=len(results)),
+    )
+    for result in results:
+        merged.latencies.extend(result.latencies)
+        merged.undelivered += result.undelivered
+        merged.measured += result.measured
+        merged.duration = max(merged.duration, result.duration)
+        merged.events += result.events
+    return merged
+
+
+def merge_transient_results(results: Sequence[TransientResult]) -> TransientResult:
+    """Pool crash-transient replicas of one operating point into one result."""
+    first = results[0]
+    if len(results) == 1:
+        return first
+    merged = TransientResult(
+        algorithm=first.algorithm,
+        n=first.n,
+        throughput=first.throughput,
+        detection_time=first.detection_time,
+        crashed_process=first.crashed_process,
+        sender=first.sender,
+        params=dict(first.params, replicas=len(results)),
+    )
+    for result in results:
+        merged.latencies.extend(result.latencies)
+        merged.failed_runs += result.failed_runs
+    return merged
+
+
+def series_from_spec(spec: SeriesSpec, run: CampaignRun) -> Series:
+    """Build the plotted curve of one declared series from a campaign run."""
+    series = Series(label=spec.label, params=dict(spec.params))
+    for series_point in spec.points:
+        results = [run.result(point) for point in series_point.points]
+        if isinstance(results[0], TransientResult):
+            merged = merge_transient_results(results)
+            series.add(point_from_transient(series_point.x, merged))
+        else:
+            series.add(point_from_scenario(series_point.x, merge_scenario_results(results)))
+    return series
+
+
+def figure_from_campaign(
+    campaign: CampaignSpec,
+    run: CampaignRun,
+    *,
+    figure: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> FigureResult:
+    """Assemble a ``FigureResult`` from a campaign and its run."""
+    result = FigureResult(figure=figure, title=title, x_label=x_label, y_label=y_label)
+    for spec in campaign.series:
+        result.add_series(series_from_spec(spec, run))
+    return result
+
+
+def run_campaign_figure(
+    campaign: CampaignSpec,
+    runner: Optional[CampaignRunner],
+    *,
+    figure: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    note: Optional[str] = None,
+) -> FigureResult:
+    """Execute ``campaign`` and render it as a figure (the figure-module protocol).
+
+    The single place where the figure modules' ``run()`` functions meet the
+    runner: default serial execution when no runner is passed, then
+    aggregation and the figure's expected-shape note.
+    """
+    runner = runner or CampaignRunner()
+    result = figure_from_campaign(
+        campaign,
+        runner.run(campaign),
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+    )
+    if note:
+        result.notes.append(note)
+    return result

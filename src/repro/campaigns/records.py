@@ -1,0 +1,65 @@
+"""JSON-serialisable records of scenario results.
+
+The runner always normalises results through these records -- whether a point
+was simulated in-process, in a worker process or read back from the JSONL
+cache -- so every execution mode hands the aggregation layer exactly the same
+bytes.  Floats round-trip losslessly through ``json`` (shortest-repr), which
+is what makes warm-cache reruns bit-identical to cold runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.scenarios.results import ScenarioResult, TransientResult
+
+
+def result_to_record(result: Any) -> Dict[str, Any]:
+    """Serialise a ``ScenarioResult`` or ``TransientResult`` to a JSON dict."""
+    if isinstance(result, ScenarioResult):
+        return {
+            "type": "scenario",
+            "scenario": result.scenario,
+            "algorithm": result.algorithm,
+            "n": result.n,
+            "throughput": result.throughput,
+            "latencies": list(result.latencies),
+            "undelivered": result.undelivered,
+            "measured": result.measured,
+            "duration": result.duration,
+            "events": result.events,
+            "params": _jsonable_params(result.params),
+        }
+    if isinstance(result, TransientResult):
+        return {
+            "type": "transient",
+            "algorithm": result.algorithm,
+            "n": result.n,
+            "throughput": result.throughput,
+            "detection_time": result.detection_time,
+            "crashed_process": result.crashed_process,
+            "sender": result.sender,
+            "latencies": list(result.latencies),
+            "failed_runs": result.failed_runs,
+            "params": _jsonable_params(result.params),
+        }
+    raise TypeError(f"cannot serialise {type(result).__name__} as a campaign record")
+
+
+def record_to_result(record: Dict[str, Any]):
+    """Rebuild the result object a record was serialised from."""
+    data = dict(record)
+    kind = data.pop("type", None)
+    if kind == "scenario":
+        return ScenarioResult(**data)
+    if kind == "transient":
+        return TransientResult(**data)
+    raise ValueError(f"unknown campaign record type {kind!r}")
+
+
+def _jsonable_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a params dict, turning tuples into lists so JSON round-trips."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in params.items()
+    }

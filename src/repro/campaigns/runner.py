@@ -1,0 +1,138 @@
+"""Campaign execution: serial or process-parallel, cache-aware, resumable.
+
+:func:`execute_point` is the single dispatch from a :class:`PointSpec` to the
+scenario drivers; it is a pure function of the spec (every simulation is
+deterministic given its config), which is what makes the serial and parallel
+paths bit-identical and the cache sound.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.campaigns.records import record_to_result, result_to_record
+from repro.campaigns.spec import CampaignSpec, PointSpec
+from repro.campaigns.store import ResultStore
+from repro.scenarios.steady import (
+    run_crash_steady,
+    run_normal_steady,
+    run_suspicion_steady,
+)
+from repro.scenarios.transient import run_crash_transient
+
+
+def execute_point(point: PointSpec) -> Dict[str, Any]:
+    """Simulate one point and return its serialised record.
+
+    Module-level (picklable) so worker processes can run it; always returns
+    the record form so every execution mode feeds the aggregation layer the
+    same data.
+    """
+    config = point.config()
+    if point.kind == "normal-steady":
+        result: Any = run_normal_steady(
+            config, point.throughput, num_messages=point.num_messages
+        )
+    elif point.kind == "crash-steady":
+        result = run_crash_steady(
+            config, point.throughput, point.crashed, num_messages=point.num_messages
+        )
+    elif point.kind == "suspicion-steady":
+        result = run_suspicion_steady(
+            config,
+            point.throughput,
+            mistake_recurrence_time=point.mistake_recurrence_time,
+            mistake_duration=point.mistake_duration,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "crash-transient":
+        result = run_crash_transient(
+            config,
+            point.throughput,
+            detection_time=point.detection_time,
+            crashed_process=point.crashed_process,
+            num_runs=point.num_runs,
+        )
+    else:  # pragma: no cover - PointSpec validates the kind
+        raise ValueError(f"unknown scenario kind {point.kind!r}")
+    return result_to_record(result)
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one campaign execution: records plus cache statistics."""
+
+    campaign: CampaignSpec
+    records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cache_hits: int = 0
+    executed: int = 0
+
+    def record(self, point: PointSpec) -> Dict[str, Any]:
+        """The record of ``point`` (KeyError if the point was not in the run)."""
+        return self.records[point.key()]
+
+    def result(self, point: PointSpec):
+        """The ``ScenarioResult`` / ``TransientResult`` of ``point``."""
+        return record_to_result(self.record(point))
+
+
+class CampaignRunner:
+    """Executes campaigns through an optional cache and an optional pool.
+
+    ``jobs=1`` (the default) runs every point in-process; ``jobs=N`` fans the
+    pending points out over a ``ProcessPoolExecutor``.  Both paths produce
+    identical records because each point is an independent deterministic
+    simulation.  With a ``store``, completed points are written as soon as
+    they finish and never re-simulated -- re-running an interrupted campaign
+    only executes what is missing.
+    """
+
+    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        #: Statistics of the most recent :meth:`run` (for CLI reporting).
+        self.last_run: Optional[CampaignRun] = None
+
+    def run(self, campaign: CampaignSpec) -> CampaignRun:
+        """Execute every point of ``campaign`` and return their records."""
+        points = campaign.points()
+        run = CampaignRun(campaign=campaign)
+        pending: List[PointSpec] = []
+        for point in points:
+            cached = self.store.get(point.key()) if self.store is not None else None
+            if cached is not None:
+                run.records[point.key()] = cached
+                run.cache_hits += 1
+            else:
+                pending.append(point)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_parallel(pending, run)
+        else:
+            for point in pending:
+                self._commit(point, execute_point(point), run)
+
+        run.executed = len(pending)
+        self.last_run = run
+        return run
+
+    def _run_parallel(self, pending: List[PointSpec], run: CampaignRun) -> None:
+        """Fan ``pending`` out over worker processes, committing as they finish."""
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_point, point): point for point in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    self._commit(futures[future], future.result(), run)
+
+    def _commit(self, point: PointSpec, record: Dict[str, Any], run: CampaignRun) -> None:
+        """Record one finished point, persisting it immediately if caching."""
+        run.records[point.key()] = record
+        if self.store is not None:
+            self.store.put(point.key(), record, point=point.as_dict())

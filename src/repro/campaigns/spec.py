@@ -1,0 +1,341 @@
+"""Declarative campaign specifications.
+
+A :class:`PointSpec` pins down *one* scenario run completely: the scenario
+kind, the ``SystemConfig`` fields, the operating point (throughput, failure
+detector QoS, crash pattern) and the seed.  Its :meth:`PointSpec.key` is a
+stable content hash used to cache and deduplicate runs -- two points with the
+same key simulate the same thing, even across figures and sessions.
+
+A :class:`CampaignSpec` groups points into the series of a figure (or an
+ad-hoc sweep) and is the unit the :class:`repro.campaigns.runner.CampaignRunner`
+executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro import __version__
+from repro.system import ALGORITHMS, SystemConfig
+
+#: Scenario kinds a point can run (the paper's four benchmark scenarios).
+SCENARIO_KINDS = (
+    "normal-steady",
+    "crash-steady",
+    "suspicion-steady",
+    "crash-transient",
+)
+
+#: Bump when the meaning of a point's fields changes, to invalidate caches.
+SCHEMA_VERSION = 1
+
+INFINITY = float("inf")
+
+
+def _json_number(value: Any) -> Any:
+    """Normalise a value for the canonical point dict.
+
+    Real numbers become floats (so ``2`` and ``2.0`` hash identically);
+    infinities become the string ``"inf"`` to keep the JSON strict; bools
+    and non-numbers pass through unchanged.  NaN is rejected -- it never
+    describes a meaningful operating point.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    number = float(value)
+    if math.isnan(number):
+        raise ValueError("NaN is not a valid point parameter")
+    return number if math.isfinite(number) else "inf" if number > 0 else "-inf"
+
+
+def crashed_processes(n: int, count: int) -> Tuple[int, ...]:
+    """The ``count`` highest-numbered (non-coordinator) processes.
+
+    The paper's crash-steady convention: the coordinator re-numbering
+    optimisation makes the steady state independent of *which* processes
+    crashed, so the figures crash the highest pids.
+    """
+    return tuple(range(n - count, n))
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a per-point seed from ``root_seed`` and a stream ``name``.
+
+    Uses the same Knuth-multiplicative + CRC32 mixing as
+    :meth:`repro.sim.rng.RandomStreams._derive`, so campaign seeds follow the
+    repo-wide convention: deterministic, independent across names, and stable
+    across processes and sessions.
+    """
+    digest = zlib.crc32(name.encode("utf-8"))
+    return (int(root_seed) * 2_654_435_761 + digest) & 0xFFFFFFFFFFFF
+
+
+def replicate_seeds(root_seed: int, replicas: int) -> Tuple[int, ...]:
+    """Seeds of a multi-seed replication of one operating point.
+
+    Replica 0 keeps ``root_seed`` unchanged so that a single-replica campaign
+    reproduces the legacy serial loops bit for bit; further replicas use
+    :func:`derive_seed` with the replica index as the stream name.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    return (int(root_seed),) + tuple(
+        derive_seed(root_seed, f"replica/{index}") for index in range(1, replicas)
+    )
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One scenario run: the atom of a campaign.
+
+    Only the fields relevant to ``kind`` are consulted when the point is
+    executed (``crashed`` for crash-steady, the QoS means for
+    suspicion-steady, ``detection_time`` / ``crashed_process`` / ``num_runs``
+    for crash-transient), but *all* fields enter the cache key, so a point's
+    identity never depends on which figure declared it.
+    """
+
+    kind: str
+    algorithm: str = "fd"
+    n: int = 3
+    seed: int = 1
+    throughput: float = 10.0
+    #: Measured messages per steady-state run.
+    num_messages: int = 100
+    #: Independent executions per crash-transient point.
+    num_runs: int = 8
+    #: Pre-crashed process ids (crash-steady only).
+    crashed: Tuple[int, ...] = ()
+    #: Mean T_MR of the failure detectors, ms (suspicion-steady only).
+    mistake_recurrence_time: float = INFINITY
+    #: Mean T_M of the failure detectors, ms (suspicion-steady only).
+    mistake_duration: float = 0.0
+    #: Constant T_D of the failure detectors, ms (crash-transient only).
+    detection_time: float = 0.0
+    #: Which process crashes (crash-transient only).
+    crashed_process: int = 0
+    #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r}; expected one of {SCENARIO_KINDS}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.kind == "suspicion-steady" and not math.isfinite(
+            self.mistake_recurrence_time
+        ):
+            raise ValueError("suspicion-steady points need a finite mistake_recurrence_time")
+        if self.kind == "crash-steady" and not self.crashed:
+            raise ValueError("crash-steady points need a non-empty crashed tuple")
+
+    def config(self) -> SystemConfig:
+        """The ``SystemConfig`` this point simulates."""
+        return SystemConfig(
+            n=self.n,
+            algorithm=self.algorithm,
+            seed=self.seed,
+            **dict(self.config_overrides),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A canonical, strictly-JSON-serialisable view of the point.
+
+        Numbers are normalised (``10`` and ``10.0`` describe the same point)
+        so the cache key does not depend on the Python type a sweep axis
+        happened to use, and infinities are encoded as the string ``"inf"``
+        (the bare ``Infinity`` token ``json.dumps`` would emit is not valid
+        JSON and breaks external JSONL consumers).
+        """
+        return {
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "n": int(self.n),
+            "seed": int(self.seed),
+            "throughput": _json_number(self.throughput),
+            "num_messages": int(self.num_messages),
+            "num_runs": int(self.num_runs),
+            "crashed": [int(pid) for pid in self.crashed],
+            "mistake_recurrence_time": _json_number(self.mistake_recurrence_time),
+            "mistake_duration": _json_number(self.mistake_duration),
+            "detection_time": _json_number(self.detection_time),
+            "crashed_process": int(self.crashed_process),
+            "config_overrides": {
+                name: _json_number(value) for name, value in self.config_overrides
+            },
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the point (the result-cache key).
+
+        The hash covers the canonical point dict, the spec schema version
+        and the package version, so a release that changes simulator
+        behaviour invalidates old caches instead of silently mixing results
+        from two incompatible versions.  Memoised: the key is consulted on
+        every cache lookup, commit and aggregation step.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            payload = json.dumps(self.as_dict(), sort_keys=True)
+            prefix = f"v{SCHEMA_VERSION}/repro-{__version__}"
+            cached = hashlib.sha256(f"{prefix}:{payload}".encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def label(self) -> str:
+        """Short human-readable description (used by logs and the CLI)."""
+        extras = {
+            "normal-steady": "",
+            "crash-steady": f" crashed={list(self.crashed)}",
+            "suspicion-steady": (
+                f" T_MR={self.mistake_recurrence_time:g} T_M={self.mistake_duration:g}"
+            ),
+            "crash-transient": (
+                f" T_D={self.detection_time:g} crash=p{self.crashed_process}"
+            ),
+        }[self.kind]
+        return (
+            f"{self.kind} {self.algorithm} n={self.n} T={self.throughput:g}/s"
+            f"{extras} seed={self.seed}"
+        )
+
+
+@dataclass
+class SeriesPointSpec:
+    """One x position of a series: one point per seed replica.
+
+    The replicas are merged (latencies pooled) when the series is
+    aggregated, which is how multi-seed campaigns tighten the confidence
+    intervals without touching the figure code.
+    """
+
+    x: float
+    points: List[PointSpec]
+
+
+@dataclass
+class SeriesSpec:
+    """One declared curve: a label, per-curve parameters and its points."""
+
+    label: str
+    points: List[SeriesPointSpec] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignSpec:
+    """A named grid of scenario runs, grouped into series."""
+
+    name: str
+    series: List[SeriesSpec] = field(default_factory=list)
+    description: str = ""
+
+    def add_series(self, series: SeriesSpec) -> None:
+        """Append a curve to the campaign."""
+        self.series.append(series)
+
+    def points(self) -> List[PointSpec]:
+        """All distinct points, in declaration order.
+
+        Points shared by several series (or several figures writing to the
+        same store) deduplicate by content key, so each operating point is
+        simulated exactly once.
+        """
+        seen = set()
+        ordered: List[PointSpec] = []
+        for series in self.series:
+            for series_point in series.points:
+                for point in series_point.points:
+                    key = point.key()
+                    if key not in seen:
+                        seen.add(key)
+                        ordered.append(point)
+        return ordered
+
+
+def grid(
+    kind: str,
+    *,
+    name: str = "adhoc",
+    algorithms: Sequence[str] = ("fd", "gm"),
+    n_values: Sequence[int] = (3,),
+    throughputs: Sequence[float] = (10.0, 100.0),
+    seeds: Sequence[int] = (1,),
+    num_messages: int = 100,
+    num_runs: int = 8,
+    crashes: int = 1,
+    mistake_recurrence_time: float = 1000.0,
+    mistake_duration: float = 0.0,
+    detection_time: float = 0.0,
+    crashed_process: int = 0,
+    config_overrides: Iterable[Tuple[str, Any]] = (),
+    description: str = "",
+) -> CampaignSpec:
+    """Build an ad-hoc campaign over the cartesian product of the axes.
+
+    One series per ``(algorithm, n)`` pair, one x position per throughput,
+    one replica per seed.  ``crashes`` (crash-steady) selects the highest-
+    numbered processes, matching the paper's non-coordinator convention.
+    """
+    overrides = tuple(config_overrides)
+    # Duplicate seeds would pool the same simulation twice and shrink the
+    # reported CI with zero new information; drop them, preserving order.
+    seeds = list(dict.fromkeys(int(seed) for seed in seeds))
+    campaign = CampaignSpec(name=name, description=description)
+    for n in n_values:
+        if kind == "crash-steady" and crashes > SystemConfig(n=n).max_tolerated_crashes():
+            raise ValueError(f"{crashes} crashes exceed the f < n/2 bound for n={n}")
+        for algorithm in algorithms:
+            series = SeriesSpec(
+                label=f"{algorithm}, n={n}",
+                params={"algorithm": algorithm, "n": n, "kind": kind},
+            )
+            for throughput in throughputs:
+                series.points.append(
+                    SeriesPointSpec(
+                        x=throughput,
+                        points=[
+                            PointSpec(
+                                kind=kind,
+                                algorithm=algorithm,
+                                n=n,
+                                seed=seed,
+                                throughput=throughput,
+                                num_messages=num_messages,
+                                num_runs=num_runs,
+                                crashed=(
+                                    crashed_processes(n, crashes)
+                                    if kind == "crash-steady"
+                                    else ()
+                                ),
+                                mistake_recurrence_time=(
+                                    mistake_recurrence_time
+                                    if kind == "suspicion-steady"
+                                    else INFINITY
+                                ),
+                                mistake_duration=(
+                                    mistake_duration if kind == "suspicion-steady" else 0.0
+                                ),
+                                detection_time=(
+                                    detection_time if kind == "crash-transient" else 0.0
+                                ),
+                                crashed_process=(
+                                    crashed_process if kind == "crash-transient" else 0
+                                ),
+                                config_overrides=overrides,
+                            )
+                            for seed in seeds
+                        ],
+                    )
+                )
+            campaign.add_series(series)
+    return campaign

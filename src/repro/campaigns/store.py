@@ -1,0 +1,78 @@
+"""Append-only JSONL result store: the campaign cache.
+
+One line per completed point::
+
+    {"key": "<sha256 of the point config>", "point": {...}, "record": {...}}
+
+Lines are appended (and flushed to disk) as soon as a point finishes, so a
+crashed or interrupted campaign resumes from its last completed point.  A
+torn final line -- the only corruption an append-only writer can produce --
+is skipped on load.  Duplicate keys are harmless: the last line wins, and
+writers only ever append records with identical content for the same key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+
+class ResultStore:
+    """Disk cache of completed campaign points, keyed by point-config hash."""
+
+    def __init__(self, directory: str, filename: str = "results.jsonl") -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, filename)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn write from an interrupted campaign
+                key = entry.get("key")
+                record = entry.get("record")
+                if key and record is not None:
+                    self._records[key] = record
+
+    # ------------------------------------------------------------------ access
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or ``None`` on a miss."""
+        return self._records.get(key)
+
+    def put(
+        self,
+        key: str,
+        record: Dict[str, Any],
+        point: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist ``record`` under ``key`` (durable before returning)."""
+        entry: Dict[str, Any] = {"key": key, "record": record}
+        if point is not None:
+            entry["point"] = point
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[key] = record
+
+    def keys(self) -> Iterator[str]:
+        """The keys of every cached point."""
+        return iter(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -23,7 +23,7 @@ Two practical details follow the paper:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Set, Tuple
 
 from repro.core.consensus import ConsensusService
 from repro.core.reliable_broadcast import ReliableBroadcast

@@ -32,7 +32,7 @@ acknowledgement and deliver steps (two multicasts in total).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.group_membership import GroupMembership
 from repro.core.types import AtomicBroadcast, BroadcastID, View

@@ -10,19 +10,18 @@ finishes on a laptop; full mode uses parameters closer to the paper's
 (smaller confidence intervals, same shapes).
 """
 
-from repro.experiments.series import FigurePoint, FigureResult, Series
-from repro.experiments import figure4, figure5, figure6, figure7, figure8
 from repro.experiments.report import format_figure, format_markdown_table
+from repro.experiments.series import FigurePoint, FigureResult, Series
+
+# NOTE: the figure modules are intentionally *not* imported here.  They
+# declare their grids through :mod:`repro.campaigns`, which in turn folds
+# results into the containers above -- importing them eagerly would make the
+# package import circular.  Use ``from repro.experiments import figure4``.
 
 __all__ = [
     "FigurePoint",
     "FigureResult",
     "Series",
-    "figure4",
-    "figure5",
-    "figure6",
-    "figure7",
-    "figure8",
     "format_figure",
     "format_markdown_table",
 ]

@@ -4,6 +4,13 @@ Examples::
 
     python -m repro.experiments --figure 4 --quick
     python -m repro.experiments --figure all --full --markdown -o results.md
+    python -m repro.experiments --figure all --quick --jobs 4 --cache-dir .cache
+
+``--jobs N`` fans the grid points of each figure out over N worker
+processes; the tables are bit-identical to a serial run.  With
+``--cache-dir`` every completed point is persisted, so an interrupted sweep
+resumes where it stopped and shared points (e.g. the no-crash curves of
+Figs. 4 and 5 in quick mode) are simulated only once.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.store import ResultStore
 from repro.experiments import figure4, figure5, figure6, figure7, figure8
 from repro.experiments.report import format_figure, format_markdown_table
 from repro.experiments.shape_checks import ALL_CHECKS
@@ -38,6 +47,20 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--full", action="store_true", help="full-size sweeps (slow)")
     parser.add_argument("--quick", action="store_true", help="quick sweeps (default)")
     parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="seed replicas per point (pooled for tighter CIs)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep points"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache completed points in DIR/results.jsonl (resumable sweeps)",
+    )
     parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     parser.add_argument("--check", action="store_true", help="also print the shape checks")
     parser.add_argument("-o", "--output", default=None, help="write the report to a file")
@@ -46,14 +69,25 @@ def main(argv: List[str] = None) -> int:
     quick = not args.full
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    runner = CampaignRunner(jobs=args.jobs, store=store)
+
     sections: List[str] = []
     for name in names:
         started = time.time()
-        result = FIGURES[name](quick=quick, seed=args.seed)
+        result = FIGURES[name](
+            quick=quick, seed=args.seed, replicas=args.replicas, runner=runner
+        )
         elapsed = time.time() - started
         renderer = format_markdown_table if args.markdown else format_figure
         sections.append(renderer(result))
-        sections.append(f"(figure {name} regenerated in {elapsed:.1f} s)")
+        stats = ""
+        if runner.last_run is not None:
+            stats = (
+                f"; {runner.last_run.executed} points simulated, "
+                f"{runner.last_run.cache_hits} from cache"
+            )
+        sections.append(f"(figure {name} regenerated in {elapsed:.1f} s{stats})")
         if args.check:
             checks: Dict[str, bool] = ALL_CHECKS[name](result)
             for key, ok in sorted(checks.items()):

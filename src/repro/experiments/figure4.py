@@ -8,20 +8,57 @@ processes, and the system saturates around 700 messages/s for λ = 1.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
-from repro.experiments.helpers import (
-    algorithm_label,
-    base_config,
-    default_throughputs,
-    point_from_scenario,
-)
-from repro.experiments.series import FigureResult, Series
-from repro.scenarios.steady import run_normal_steady
+from repro.campaigns.aggregate import run_campaign_figure
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec, PointSpec, SeriesPointSpec, SeriesSpec, replicate_seeds
+from repro.experiments.helpers import algorithm_label, default_throughputs
+from repro.experiments.series import FigureResult
 
 #: Number of measured messages per point.
 QUICK_MESSAGES = 150
 FULL_MESSAGES = 600
+
+
+def build_campaign(
+    quick: bool = True,
+    seed: int = 1,
+    n_values: Iterable[int] = (3, 7),
+    algorithms: Iterable[str] = ("fd", "gm"),
+    throughputs: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+    replicas: int = 1,
+) -> CampaignSpec:
+    """Declare the Figure 4 grid as a campaign."""
+    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
+    seeds = replicate_seeds(seed, replicas)
+    campaign = CampaignSpec(name="figure4", description="latency vs throughput, normal-steady")
+    for n in n_values:
+        sweep = list(throughputs) if throughputs is not None else default_throughputs(n, quick)
+        for algorithm in algorithms:
+            series = SeriesSpec(
+                label=f"{algorithm_label(algorithm)}, n={n}", params={"n": n}
+            )
+            for throughput in sweep:
+                series.points.append(
+                    SeriesPointSpec(
+                        x=throughput,
+                        points=[
+                            PointSpec(
+                                kind="normal-steady",
+                                algorithm=algorithm,
+                                n=n,
+                                seed=point_seed,
+                                throughput=throughput,
+                                num_messages=messages,
+                            )
+                            for point_seed in seeds
+                        ],
+                    )
+                )
+            campaign.add_series(series)
+    return campaign
 
 
 def run(
@@ -31,26 +68,27 @@ def run(
     algorithms: Iterable[str] = ("fd", "gm"),
     throughputs: Optional[Iterable[float]] = None,
     num_messages: Optional[int] = None,
+    replicas: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> FigureResult:
     """Regenerate Figure 4."""
-    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
-    figure = FigureResult(
+    return run_campaign_figure(
+        build_campaign(
+            quick=quick,
+            seed=seed,
+            n_values=n_values,
+            algorithms=algorithms,
+            throughputs=throughputs,
+            num_messages=num_messages,
+            replicas=replicas,
+        ),
+        runner,
         figure="4",
         title="Latency vs throughput, normal-steady scenario",
         x_label="throughput [1/s]",
         y_label="min latency [ms]",
+        note=(
+            "Expected shape: the FD and GM curves coincide for each n; latency "
+            "grows with the throughput and with n."
+        ),
     )
-    for n in n_values:
-        sweep = list(throughputs) if throughputs is not None else default_throughputs(n, quick)
-        for algorithm in algorithms:
-            series = Series(label=f"{algorithm_label(algorithm)}, n={n}", params={"n": n})
-            for throughput in sweep:
-                config = base_config(algorithm, n, seed)
-                result = run_normal_steady(config, throughput, num_messages=messages)
-                series.add(point_from_scenario(throughput, result))
-            figure.add_series(series)
-    figure.notes.append(
-        "Expected shape: the FD and GM curves coincide for each n; latency "
-        "grows with the throughput and with n."
-    )
-    return figure

@@ -11,16 +11,20 @@ which processes crashed).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.experiments.helpers import (
-    algorithm_label,
-    base_config,
-    default_throughputs,
-    point_from_scenario,
+from repro.campaigns.aggregate import run_campaign_figure
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import (
+    CampaignSpec,
+    PointSpec,
+    SeriesPointSpec,
+    SeriesSpec,
+    crashed_processes,
+    replicate_seeds,
 )
-from repro.experiments.series import FigureResult, Series
-from repro.scenarios.steady import run_crash_steady, run_normal_steady
+from repro.experiments.helpers import algorithm_label, default_throughputs
+from repro.experiments.series import FigureResult
 
 QUICK_MESSAGES = 150
 FULL_MESSAGES = 500
@@ -29,27 +33,25 @@ FULL_MESSAGES = 500
 CRASH_COUNTS: Dict[int, Tuple[int, ...]] = {3: (0, 1), 7: (0, 1, 2, 3)}
 
 
-def crashed_processes(n: int, count: int) -> Tuple[int, ...]:
-    """The ``count`` highest-numbered (non-coordinator) processes."""
-    return tuple(range(n - count, n))
-
-
-def run(
+def build_campaign(
     quick: bool = True,
     seed: int = 1,
     n_values: Iterable[int] = (3, 7),
     algorithms: Iterable[str] = ("fd", "gm"),
     throughputs: Optional[Iterable[float]] = None,
     num_messages: Optional[int] = None,
-) -> FigureResult:
-    """Regenerate Figure 5."""
+    replicas: int = 1,
+) -> CampaignSpec:
+    """Declare the Figure 5 grid as a campaign.
+
+    In quick mode the no-crash curves are normal-steady points identical to
+    Figure 4's (both figures measure 150 messages), so with a shared result
+    store they come straight from the cache.  In full mode the per-figure
+    message counts differ (500 vs 600), so the points are distinct.
+    """
     messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
-    figure = FigureResult(
-        figure="5",
-        title="Latency vs throughput, crash-steady scenario",
-        x_label="throughput [1/s]",
-        y_label="min latency [ms]",
-    )
+    seeds = replicate_seeds(seed, replicas)
+    campaign = CampaignSpec(name="figure5", description="latency vs throughput, crash-steady")
     for n in n_values:
         sweep = list(throughputs) if throughputs is not None else default_throughputs(n, quick)
         crash_counts = CRASH_COUNTS.get(n, (0, 1))
@@ -65,20 +67,58 @@ def run(
                     if crashes == 0
                     else f"{algorithm_label(algorithm)}, {crashes} crash(es), n={n}"
                 )
-                series = Series(label=label, params={"n": n, "crashes": crashes})
+                series = SeriesSpec(label=label, params={"n": n, "crashes": crashes})
                 for throughput in sweep:
-                    config = base_config(algorithm, n, seed)
-                    if crashes == 0:
-                        result = run_normal_steady(config, throughput, num_messages=messages)
-                    else:
-                        result = run_crash_steady(
-                            config, throughput, crashed, num_messages=messages
+                    series.points.append(
+                        SeriesPointSpec(
+                            x=throughput,
+                            points=[
+                                PointSpec(
+                                    kind="normal-steady" if crashes == 0 else "crash-steady",
+                                    algorithm=algorithm,
+                                    n=n,
+                                    seed=point_seed,
+                                    throughput=throughput,
+                                    num_messages=messages,
+                                    crashed=crashed,
+                                )
+                                for point_seed in seeds
+                            ],
                         )
-                    series.add(point_from_scenario(throughput, result))
-                figure.add_series(series)
-    figure.notes.append(
-        "Expected shape: latency decreases as more processes crash; for the "
-        "same number of crashes the GM curve is at or below the FD curve "
-        "(the gap grows with n)."
+                    )
+                campaign.add_series(series)
+    return campaign
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    n_values: Iterable[int] = (3, 7),
+    algorithms: Iterable[str] = ("fd", "gm"),
+    throughputs: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+    replicas: int = 1,
+    runner: Optional[CampaignRunner] = None,
+) -> FigureResult:
+    """Regenerate Figure 5."""
+    return run_campaign_figure(
+        build_campaign(
+            quick=quick,
+            seed=seed,
+            n_values=n_values,
+            algorithms=algorithms,
+            throughputs=throughputs,
+            num_messages=num_messages,
+            replicas=replicas,
+        ),
+        runner,
+        figure="5",
+        title="Latency vs throughput, crash-steady scenario",
+        x_label="throughput [1/s]",
+        y_label="min latency [ms]",
+        note=(
+            "Expected shape: latency decreases as more processes crash; for the "
+            "same number of crashes the GM curve is at or below the FD curve "
+            "(the gap grows with n)."
+        ),
     )
-    return figure

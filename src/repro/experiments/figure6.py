@@ -9,11 +9,13 @@ large T_MR (>= 5000 ms).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
-from repro.experiments.helpers import algorithm_label, base_config, point_from_scenario
-from repro.experiments.series import FigureResult, Series
-from repro.scenarios.steady import run_suspicion_steady
+from repro.campaigns.aggregate import run_campaign_figure
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec, PointSpec, SeriesPointSpec, SeriesSpec, replicate_seeds
+from repro.experiments.helpers import algorithm_label
+from repro.experiments.series import FigureResult
 
 QUICK_MESSAGES = 80
 FULL_MESSAGES = 300
@@ -25,6 +27,51 @@ QUICK_TMR_VALUES = (10.0, 100.0, 1000.0, 10000.0)
 FULL_TMR_VALUES = (1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0)
 
 
+def build_campaign(
+    quick: bool = True,
+    seed: int = 1,
+    panels: Iterable[Tuple[int, float]] = PANELS,
+    algorithms: Iterable[str] = ("fd", "gm"),
+    tmr_values: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+    replicas: int = 1,
+) -> CampaignSpec:
+    """Declare the Figure 6 grid as a campaign."""
+    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
+    sweep = list(tmr_values) if tmr_values is not None else list(
+        QUICK_TMR_VALUES if quick else FULL_TMR_VALUES
+    )
+    seeds = replicate_seeds(seed, replicas)
+    campaign = CampaignSpec(name="figure6", description="latency vs T_MR, suspicion-steady")
+    for n, throughput in panels:
+        for algorithm in algorithms:
+            series = SeriesSpec(
+                label=f"{algorithm_label(algorithm)}, n={n}, T={throughput:g}/s",
+                params={"n": n, "throughput": throughput},
+            )
+            for tmr in sweep:
+                series.points.append(
+                    SeriesPointSpec(
+                        x=tmr,
+                        points=[
+                            PointSpec(
+                                kind="suspicion-steady",
+                                algorithm=algorithm,
+                                n=n,
+                                seed=point_seed,
+                                throughput=throughput,
+                                num_messages=messages,
+                                mistake_recurrence_time=tmr,
+                                mistake_duration=0.0,
+                            )
+                            for point_seed in seeds
+                        ],
+                    )
+                )
+            campaign.add_series(series)
+    return campaign
+
+
 def run(
     quick: bool = True,
     seed: int = 1,
@@ -32,38 +79,28 @@ def run(
     algorithms: Iterable[str] = ("fd", "gm"),
     tmr_values: Optional[Iterable[float]] = None,
     num_messages: Optional[int] = None,
+    replicas: int = 1,
+    runner: Optional[CampaignRunner] = None,
 ) -> FigureResult:
     """Regenerate Figure 6."""
-    messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
-    sweep = list(tmr_values) if tmr_values is not None else list(
-        QUICK_TMR_VALUES if quick else FULL_TMR_VALUES
-    )
-    figure = FigureResult(
+    return run_campaign_figure(
+        build_campaign(
+            quick=quick,
+            seed=seed,
+            panels=panels,
+            algorithms=algorithms,
+            tmr_values=tmr_values,
+            num_messages=num_messages,
+            replicas=replicas,
+        ),
+        runner,
         figure="6",
         title="Latency vs mistake recurrence time T_MR (T_M = 0), suspicion-steady",
         x_label="mistake recurrence time T_MR [ms]",
         y_label="min latency [ms]",
+        note=(
+            "Expected shape: GM latency explodes (or the point does not complete) "
+            "at small T_MR while FD degrades only mildly; the curves join at very "
+            "large T_MR."
+        ),
     )
-    for n, throughput in panels:
-        for algorithm in algorithms:
-            series = Series(
-                label=f"{algorithm_label(algorithm)}, n={n}, T={throughput:g}/s",
-                params={"n": n, "throughput": throughput},
-            )
-            for tmr in sweep:
-                config = base_config(algorithm, n, seed)
-                result = run_suspicion_steady(
-                    config,
-                    throughput,
-                    mistake_recurrence_time=tmr,
-                    mistake_duration=0.0,
-                    num_messages=messages,
-                )
-                series.add(point_from_scenario(tmr, result))
-            figure.add_series(series)
-    figure.notes.append(
-        "Expected shape: GM latency explodes (or the point does not complete) "
-        "at small T_MR while FD degrades only mildly; the curves join at very "
-        "large T_MR."
-    )
-    return figure

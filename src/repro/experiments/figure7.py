@@ -15,11 +15,13 @@ the FD algorithm barely reacts to it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
-from repro.experiments.helpers import algorithm_label, base_config, point_from_scenario
-from repro.experiments.series import FigureResult, Series
-from repro.scenarios.steady import run_suspicion_steady
+from repro.campaigns.aggregate import run_campaign_figure
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec, PointSpec, SeriesPointSpec, SeriesSpec, replicate_seeds
+from repro.experiments.helpers import algorithm_label
+from repro.experiments.series import FigureResult
 
 QUICK_MESSAGES = 80
 FULL_MESSAGES = 300
@@ -36,28 +38,25 @@ QUICK_TM_VALUES = (1.0, 10.0, 100.0, 1000.0)
 FULL_TM_VALUES = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
 
 
-def run(
+def build_campaign(
     quick: bool = True,
     seed: int = 1,
     panels: Iterable[Tuple[int, float, float]] = PANELS,
     algorithms: Iterable[str] = ("fd", "gm"),
     tm_values: Optional[Iterable[float]] = None,
     num_messages: Optional[int] = None,
-) -> FigureResult:
-    """Regenerate Figure 7."""
+    replicas: int = 1,
+) -> CampaignSpec:
+    """Declare the Figure 7 grid as a campaign."""
     messages = num_messages or (QUICK_MESSAGES if quick else FULL_MESSAGES)
     sweep = list(tm_values) if tm_values is not None else list(
         QUICK_TM_VALUES if quick else FULL_TM_VALUES
     )
-    figure = FigureResult(
-        figure="7",
-        title="Latency vs mistake duration T_M (T_MR fixed), suspicion-steady",
-        x_label="mistake duration T_M [ms]",
-        y_label="min latency [ms]",
-    )
+    seeds = replicate_seeds(seed, replicas)
+    campaign = CampaignSpec(name="figure7", description="latency vs T_M, suspicion-steady")
     for n, throughput, tmr in panels:
         for algorithm in algorithms:
-            series = Series(
+            series = SeriesSpec(
                 label=(
                     f"{algorithm_label(algorithm)}, n={n}, T={throughput:g}/s, "
                     f"T_MR={tmr:g}ms"
@@ -65,18 +64,56 @@ def run(
                 params={"n": n, "throughput": throughput, "tmr": tmr},
             )
             for tm in sweep:
-                config = base_config(algorithm, n, seed)
-                result = run_suspicion_steady(
-                    config,
-                    throughput,
-                    mistake_recurrence_time=tmr,
-                    mistake_duration=tm,
-                    num_messages=messages,
+                series.points.append(
+                    SeriesPointSpec(
+                        x=tm,
+                        points=[
+                            PointSpec(
+                                kind="suspicion-steady",
+                                algorithm=algorithm,
+                                n=n,
+                                seed=point_seed,
+                                throughput=throughput,
+                                num_messages=messages,
+                                mistake_recurrence_time=tmr,
+                                mistake_duration=tm,
+                            )
+                            for point_seed in seeds
+                        ],
+                    )
                 )
-                series.add(point_from_scenario(tm, result))
-            figure.add_series(series)
-    figure.notes.append(
-        "Expected shape: GM latency grows with T_M much faster than FD "
-        "latency (exclusions followed by costly rejoins)."
+            campaign.add_series(series)
+    return campaign
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    panels: Iterable[Tuple[int, float, float]] = PANELS,
+    algorithms: Iterable[str] = ("fd", "gm"),
+    tm_values: Optional[Iterable[float]] = None,
+    num_messages: Optional[int] = None,
+    replicas: int = 1,
+    runner: Optional[CampaignRunner] = None,
+) -> FigureResult:
+    """Regenerate Figure 7."""
+    return run_campaign_figure(
+        build_campaign(
+            quick=quick,
+            seed=seed,
+            panels=panels,
+            algorithms=algorithms,
+            tm_values=tm_values,
+            num_messages=num_messages,
+            replicas=replicas,
+        ),
+        runner,
+        figure="7",
+        title="Latency vs mistake duration T_M (T_MR fixed), suspicion-steady",
+        x_label="mistake duration T_M [ms]",
+        y_label="min latency [ms]",
+        note=(
+            "Expected shape: GM latency grows with T_M much faster than FD "
+            "latency (exclusions followed by costly rejoins)."
+        ),
     )
-    return figure

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List
 
 from repro.experiments.series import FigurePoint
 from repro.scenarios.results import ScenarioResult, TransientResult

@@ -10,7 +10,7 @@ generator.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict
 
 from repro.experiments.series import FigureResult, Series
 

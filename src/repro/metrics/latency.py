@@ -8,7 +8,7 @@ from ``A-broadcast(m)`` to the *earliest* ``A-deliver(m)`` on any process
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.types import BroadcastID
 from repro.metrics.stats import Summary, summarize

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List
 
 try:  # pragma: no cover - exercised implicitly depending on the environment
     from scipy import stats as _scipy_stats

@@ -12,8 +12,8 @@ first-delivery latency plus the configured processing time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Type
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.types import BroadcastID
 from repro.replication.state_machine import Command, KeyValueStore, StateMachine

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Iterable, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set
 
 from repro.core.types import BroadcastID
 from repro.failure_detectors.qos import QoSConfig
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.stats import interarrival_from_throughput
 from repro.scenarios.results import ScenarioResult
-from repro.system import BroadcastSystem, SystemConfig, build_system
+from repro.system import SystemConfig, build_system
 from repro.workload.generator import PoissonWorkload
 
 #: Default number of measured messages per point.

@@ -17,11 +17,10 @@ paper plots the latency *overhead*: latency minus the detection time ``T_D``.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.failure_detectors.qos import QoSConfig
 from repro.metrics.latency import LatencyRecorder
-from repro.metrics.stats import interarrival_from_throughput
 from repro.scenarios.results import TransientResult
 from repro.system import SystemConfig, build_system
 from repro.workload.generator import PoissonWorkload

@@ -12,7 +12,7 @@ messages are discarded and outgoing sends are dropped by the network
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.messages import Message

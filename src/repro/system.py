@@ -19,7 +19,7 @@ benchmarks and the example applications all operate on a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.consensus import ConsensusService
 from repro.core.fd_broadcast import FDAtomicBroadcast

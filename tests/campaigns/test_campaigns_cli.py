@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro.campaigns`` ad-hoc grid CLI."""
+
+from repro.campaigns.__main__ import main
+
+
+class TestCampaignsCLI:
+    def test_adhoc_grid_runs_and_reports(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        code = main(
+            [
+                "--scenario",
+                "normal-steady",
+                "--algorithms",
+                "fd",
+                "--n",
+                "3",
+                "--throughputs",
+                "25",
+                "--messages",
+                "10",
+                "-o",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "campaign 'adhoc': 1 points (1 simulated, 0 from cache)" in text
+        assert "normal-steady" in text
+        assert capsys.readouterr().out.strip() == text.strip()
+
+    def test_cache_dir_makes_second_run_free(self, tmp_path, capsys):
+        argv = [
+            "--scenario",
+            "normal-steady",
+            "--algorithms",
+            "fd",
+            "--n",
+            "3",
+            "--throughputs",
+            "25",
+            "--messages",
+            "10",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(1 simulated, 0 from cache)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 simulated, 1 from cache)" in second
+        # identical point lines, only the header timing differs
+        assert first.splitlines()[1:] == second.splitlines()[1:]

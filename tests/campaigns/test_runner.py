@@ -1,0 +1,113 @@
+"""Determinism and caching tests for the campaign runner.
+
+The heart of the subsystem's contract: serial execution, ``jobs=N`` and a
+warm cache must all produce identical records.
+"""
+
+import pytest
+
+import repro.campaigns.runner as runner_module
+from repro.campaigns.runner import CampaignRunner, execute_point
+from repro.campaigns.spec import PointSpec, grid
+from repro.campaigns.store import ResultStore
+
+
+def tiny_campaign(**kwargs):
+    defaults = dict(
+        algorithms=("fd",),
+        n_values=(3,),
+        throughputs=(20.0, 60.0),
+        num_messages=15,
+    )
+    defaults.update(kwargs)
+    return grid("normal-steady", **defaults)
+
+
+class TestExecutePoint:
+    def test_is_deterministic(self):
+        point = PointSpec(kind="normal-steady", throughput=30.0, num_messages=15)
+        assert execute_point(point) == execute_point(point)
+
+    def test_dispatches_every_kind(self):
+        records = [
+            execute_point(PointSpec(kind="normal-steady", throughput=30.0, num_messages=10)),
+            execute_point(
+                PointSpec(kind="crash-steady", throughput=30.0, num_messages=10, crashed=(2,))
+            ),
+            execute_point(
+                PointSpec(
+                    kind="suspicion-steady",
+                    throughput=30.0,
+                    num_messages=10,
+                    mistake_recurrence_time=1000.0,
+                )
+            ),
+            execute_point(
+                PointSpec(kind="crash-transient", throughput=30.0, num_runs=2)
+            ),
+        ]
+        assert [record["type"] for record in records] == [
+            "scenario",
+            "scenario",
+            "scenario",
+            "transient",
+        ]
+        assert records[0]["scenario"] == "normal-steady"
+        assert records[1]["scenario"] == "crash-steady"
+        assert records[2]["scenario"] == "suspicion-steady"
+
+
+class TestCampaignRunner:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(jobs=0)
+
+    def test_serial_and_parallel_records_identical(self):
+        campaign = tiny_campaign()
+        serial = CampaignRunner(jobs=1).run(campaign)
+        parallel = CampaignRunner(jobs=2).run(campaign)
+        assert serial.records == parallel.records
+        assert serial.executed == parallel.executed == 2
+
+    def test_warm_cache_reproduces_cold_run(self, tmp_path):
+        campaign = tiny_campaign()
+        cold_runner = CampaignRunner(jobs=1, store=ResultStore(str(tmp_path)))
+        cold = cold_runner.run(campaign)
+        assert (cold.executed, cold.cache_hits) == (2, 0)
+
+        warm_runner = CampaignRunner(jobs=1, store=ResultStore(str(tmp_path)))
+        warm = warm_runner.run(campaign)
+        assert (warm.executed, warm.cache_hits) == (0, 2)
+        assert warm.records == cold.records
+
+    def test_warm_cache_never_simulates(self, tmp_path, monkeypatch):
+        campaign = tiny_campaign()
+        CampaignRunner(jobs=1, store=ResultStore(str(tmp_path))).run(campaign)
+
+        def boom(point):
+            raise AssertionError(f"re-simulated cached point {point.label()}")
+
+        monkeypatch.setattr(runner_module, "execute_point", boom)
+        warm = CampaignRunner(jobs=1, store=ResultStore(str(tmp_path))).run(campaign)
+        assert warm.cache_hits == 2
+
+    def test_interrupted_campaign_resumes_missing_points_only(self, tmp_path):
+        small = tiny_campaign(throughputs=(20.0,))
+        full = tiny_campaign(throughputs=(20.0, 60.0))
+        store_dir = str(tmp_path)
+        CampaignRunner(jobs=1, store=ResultStore(store_dir)).run(small)
+
+        resumed_runner = CampaignRunner(jobs=1, store=ResultStore(store_dir))
+        resumed = resumed_runner.run(full)
+        assert (resumed.executed, resumed.cache_hits) == (1, 1)
+        # The resumed record set matches a from-scratch run of the full grid.
+        scratch = CampaignRunner(jobs=1).run(full)
+        assert resumed.records == scratch.records
+
+    def test_run_result_objects_rebuild(self):
+        campaign = tiny_campaign(throughputs=(20.0,))
+        run = CampaignRunner().run(campaign)
+        point = campaign.points()[0]
+        result = run.result(point)
+        assert result.scenario == "normal-steady"
+        assert result.measured == 15

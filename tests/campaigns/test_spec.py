@@ -1,0 +1,146 @@
+"""Unit tests for campaign specifications, keys and seed derivation."""
+
+import pytest
+
+from repro.campaigns.spec import (
+    CampaignSpec,
+    PointSpec,
+    SeriesPointSpec,
+    SeriesSpec,
+    derive_seed,
+    grid,
+    replicate_seeds,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestPointSpec:
+    def test_key_is_stable_and_type_normalised(self):
+        a = PointSpec(kind="normal-steady", throughput=10, num_messages=50)
+        b = PointSpec(kind="normal-steady", throughput=10.0, num_messages=50)
+        assert a.key() == b.key()
+        assert a.key() == a.key()
+
+    def test_key_depends_on_every_axis(self):
+        base = PointSpec(kind="normal-steady", throughput=10.0, num_messages=50)
+        variants = [
+            PointSpec(kind="normal-steady", throughput=20.0, num_messages=50),
+            PointSpec(kind="normal-steady", throughput=10.0, num_messages=60),
+            PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, seed=2),
+            PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, algorithm="gm"),
+            PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, n=5),
+        ]
+        keys = {point.key() for point in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_invalid_kind_and_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            PointSpec(kind="nope")
+        with pytest.raises(ValueError):
+            PointSpec(kind="normal-steady", algorithm="nope")
+
+    def test_kind_specific_validation(self):
+        with pytest.raises(ValueError):
+            PointSpec(kind="crash-steady")  # needs a crashed tuple
+        with pytest.raises(ValueError):
+            PointSpec(kind="suspicion-steady")  # needs a finite T_MR
+
+    def test_as_dict_is_strict_json(self):
+        import json
+
+        # The default infinite T_MR must not serialise as the non-standard
+        # ``Infinity`` token (it would break external JSONL consumers).
+        point = PointSpec(kind="normal-steady", throughput=10.0, num_messages=50)
+        text = json.dumps(point.as_dict())
+        assert "Infinity" not in text
+        json.loads(text, parse_constant=lambda token: pytest.fail(f"lenient {token}"))
+        assert point.as_dict()["mistake_recurrence_time"] == "inf"
+
+    def test_config_override_values_are_normalised(self):
+        a = PointSpec(kind="normal-steady", config_overrides=(("lambda_cpu", 2),))
+        b = PointSpec(kind="normal-steady", config_overrides=(("lambda_cpu", 2.0),))
+        assert a.key() == b.key()
+
+    def test_config_round_trip(self):
+        point = PointSpec(
+            kind="normal-steady",
+            algorithm="gm",
+            n=5,
+            seed=9,
+            config_overrides=(("lambda_cpu", 2.0),),
+        )
+        config = point.config()
+        assert (config.n, config.algorithm, config.seed, config.lambda_cpu) == (5, "gm", 9, 2.0)
+
+
+class TestSeedDerivation:
+    def test_follows_random_streams_convention(self):
+        # Same Knuth + CRC32 mixing as RandomStreams._derive.
+        assert derive_seed(42, "replica/1") == RandomStreams(42)._derive("replica/1")
+
+    def test_replica_zero_keeps_root_seed(self):
+        seeds = replicate_seeds(7, 3)
+        assert seeds[0] == 7
+        assert len(set(seeds)) == 3
+        assert seeds == replicate_seeds(7, 3)
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            replicate_seeds(1, 0)
+
+
+class TestCampaignSpec:
+    def test_points_deduplicate_across_series(self):
+        shared = PointSpec(kind="normal-steady", throughput=10.0, num_messages=30)
+        only_b = PointSpec(kind="normal-steady", throughput=20.0, num_messages=30)
+        campaign = CampaignSpec(
+            name="dedup",
+            series=[
+                SeriesSpec(label="a", points=[SeriesPointSpec(x=10.0, points=[shared])]),
+                SeriesSpec(
+                    label="b",
+                    points=[
+                        SeriesPointSpec(x=10.0, points=[shared]),
+                        SeriesPointSpec(x=20.0, points=[only_b]),
+                    ],
+                ),
+            ],
+        )
+        assert campaign.points() == [shared, only_b]
+
+
+class TestGrid:
+    def test_cartesian_product_shape(self):
+        campaign = grid(
+            "normal-steady",
+            algorithms=("fd", "gm"),
+            n_values=(3, 7),
+            throughputs=(10.0, 50.0),
+            seeds=(1, 2),
+            num_messages=30,
+        )
+        assert len(campaign.series) == 4  # (algorithm, n) pairs
+        assert all(len(series.points) == 2 for series in campaign.series)
+        assert len(campaign.points()) == 16  # 2 algs * 2 n * 2 T * 2 seeds
+
+    def test_crash_steady_respects_crash_bound(self):
+        with pytest.raises(ValueError):
+            grid("crash-steady", n_values=(3,), crashes=2)
+
+    def test_crash_steady_selects_highest_pids(self):
+        campaign = grid("crash-steady", n_values=(7,), crashes=2, algorithms=("fd",))
+        point = campaign.points()[0]
+        assert point.crashed == (5, 6)
+
+    def test_duplicate_seeds_are_dropped(self):
+        campaign = grid(
+            "normal-steady", algorithms=("fd",), throughputs=(10.0,), seeds=(1, 1, 2)
+        )
+        series_point = campaign.series[0].points[0]
+        assert [point.seed for point in series_point.points] == [1, 2]
+
+    def test_nan_parameters_are_rejected(self):
+        point = PointSpec(kind="normal-steady", throughput=float("nan"))
+        with pytest.raises(ValueError):
+            point.key()

@@ -1,0 +1,62 @@
+"""Unit tests for the JSONL result store."""
+
+import json
+
+from repro.campaigns.store import ResultStore
+
+
+class TestResultStore:
+    def test_round_trip_and_persistence(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record = {"type": "scenario", "latencies": [1.25, 3.5], "measured": 2}
+        store.put("k1", record, point={"kind": "normal-steady"})
+        assert store.get("k1") == record
+        assert "k1" in store and len(store) == 1
+
+        reopened = ResultStore(str(tmp_path))
+        assert reopened.get("k1") == record
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        latencies = [0.1 + 0.2, 1e-17, 123456.789012345]
+        store.put("k", {"latencies": latencies})
+        assert ResultStore(str(tmp_path)).get("k")["latencies"] == latencies
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("good", {"measured": 1})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "record": {"measu')  # interrupted write
+        reopened = ResultStore(str(tmp_path))
+        assert reopened.get("good") == {"measured": 1}
+        assert reopened.get("torn") is None
+
+    def test_duplicate_key_last_line_wins(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("k", {"measured": 1})
+        store.put("k", {"measured": 2})
+        assert ResultStore(str(tmp_path)).get("k") == {"measured": 2}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(str(tmp_path)).get("nope") is None
+
+    def test_stored_lines_are_strict_json(self, tmp_path):
+        from repro.campaigns.runner import CampaignRunner
+        from repro.campaigns.spec import grid
+
+        campaign = grid(
+            "normal-steady", algorithms=("fd",), throughputs=(25.0,), num_messages=10
+        )
+        CampaignRunner(store=ResultStore(str(tmp_path))).run(campaign)
+        with open(ResultStore(str(tmp_path)).path, encoding="utf-8") as handle:
+            for line in handle:
+                assert "Infinity" not in line and "NaN" not in line
+                json.loads(line)
+
+    def test_entries_are_one_json_object_per_line(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("a", {"measured": 1})
+        store.put("b", {"measured": 2})
+        with open(store.path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        assert [entry["key"] for entry in entries] == ["a", "b"]

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import pytest
 
-from repro import BroadcastSystem, QoSConfig, SystemConfig, build_system
+from repro import BroadcastSystem, SystemConfig, build_system
 from repro.core.types import BroadcastID
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig

@@ -1,6 +1,5 @@
 """Unit tests for the group membership service."""
 
-import pytest
 
 from repro import QoSConfig, SystemConfig, build_system
 from repro.core.group_membership import EXCLUDED, JOINING, MEMBER

@@ -1,7 +1,5 @@
 """Unit tests for the reliable broadcast component."""
 
-from typing import List
-
 from repro.core.reliable_broadcast import ReliableBroadcast
 from repro.failure_detectors.interface import FailureDetector
 from repro.sim.engine import Simulator

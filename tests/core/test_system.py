@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ALGORITHMS, BroadcastSystem, QoSConfig, SystemConfig, build_system
+from repro import ALGORITHMS, SystemConfig, build_system
 
 
 class TestSystemConfig:

@@ -1,6 +1,5 @@
 """Unit tests for the shared core types."""
 
-import pytest
 
 from repro.core.types import AtomicBroadcast, BroadcastID, View
 from repro.sim.engine import Simulator

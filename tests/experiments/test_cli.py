@@ -1,8 +1,33 @@
 """Tests for the experiments command-line interface."""
 
-import os
-
 from repro.experiments.__main__ import main
+
+
+def patch_tiny_figure4(monkeypatch, throughputs=(50,), num_messages=20):
+    """Shrink figure 4 to a tiny sweep so CLI tests stay fast."""
+    from repro.experiments import figure4 as figure4_module
+
+    def tiny_run(quick=True, seed=1, replicas=1, runner=None):
+        return figure4_module.run(
+            quick=True,
+            seed=seed,
+            n_values=(3,),
+            throughputs=throughputs,
+            num_messages=num_messages,
+            replicas=replicas,
+            runner=runner,
+        )
+
+    monkeypatch.setitem(
+        __import__("repro.experiments.__main__", fromlist=["FIGURES"]).FIGURES,
+        "4",
+        tiny_run,
+    )
+
+
+def table_lines(out):
+    """The table rows of a report, without the timing/cache status lines."""
+    return [line for line in out.splitlines() if line and not line.startswith("(")]
 
 
 class TestExperimentsCLI:
@@ -27,25 +52,32 @@ class TestExperimentsCLI:
         assert "Figure 4" in captured.out
 
     def test_markdown_output_with_checks(self, capsys, monkeypatch, tmp_path):
-        # Patch figure 4 to a tiny sweep so the CLI test stays fast.
-        from repro.experiments import figure4 as figure4_module
-
-        def tiny_run(quick=True, seed=1):
-            return figure4_module.run(
-                quick=True,
-                seed=seed,
-                n_values=(3,),
-                throughputs=(50,),
-                num_messages=20,
-            )
-
-        monkeypatch.setitem(
-            __import__("repro.experiments.__main__", fromlist=["FIGURES"]).FIGURES,
-            "4",
-            tiny_run,
-        )
+        patch_tiny_figure4(monkeypatch)
         code = main(["--figure", "4", "--quick", "--markdown", "--check"])
         assert code == 0
         out = capsys.readouterr().out
         assert "| throughput [1/s] |" in out
         assert "check" in out
+
+    def test_jobs_and_cache_reproduce_serial_tables(self, capsys, monkeypatch, tmp_path):
+        patch_tiny_figure4(monkeypatch, throughputs=(30, 60), num_messages=15)
+        cache_dir = str(tmp_path / "cache")
+
+        assert main(["--figure", "4"]) == 0
+        serial = table_lines(capsys.readouterr().out)
+
+        assert main(["--figure", "4", "--jobs", "2", "--cache-dir", cache_dir]) == 0
+        parallel_out = capsys.readouterr().out
+        assert table_lines(parallel_out) == serial
+        assert "4 points simulated, 0 from cache" in parallel_out
+
+        # A second run against the same cache re-simulates nothing.
+        assert main(["--figure", "4", "--jobs", "2", "--cache-dir", cache_dir]) == 0
+        warm_out = capsys.readouterr().out
+        assert table_lines(warm_out) == serial
+        assert "0 points simulated, 4 from cache" in warm_out
+
+    def test_replicas_flag_pools_more_samples(self, capsys, monkeypatch):
+        patch_tiny_figure4(monkeypatch, throughputs=(30,), num_messages=10)
+        assert main(["--figure", "4", "--replicas", "2", "--markdown"]) == 0
+        assert "Figure 4" in capsys.readouterr().out

@@ -5,7 +5,6 @@ figure module produces well-formed series and that the headline shape of the
 cheap figures holds even at very small message counts.
 """
 
-import pytest
 
 from repro.experiments import figure4, figure5, figure6, figure7, figure8
 from repro.experiments.shape_checks import (

@@ -1,6 +1,5 @@
 """Unit tests for the QoS failure detector model (T_D, T_MR, T_M)."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.metrics.stats import (
-    Summary,
     interarrival_from_throughput,
     summarize,
     throughput_from_interarrival,

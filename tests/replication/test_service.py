@@ -1,6 +1,5 @@
 """Tests for the replicated service (active replication over atomic broadcast)."""
 
-import pytest
 
 from repro import QoSConfig, SystemConfig, build_system
 from repro.replication.service import ReplicatedService

@@ -1,6 +1,5 @@
 """Unit tests for the named random streams."""
 
-import math
 
 import pytest
 
