@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""How crash-recovery churn degrades each atomic broadcast algorithm.
+
+The paper's fault model is crash-stop: a crashed process never comes back.
+This example uses the fault-schedule engine's ``churn-steady`` scenario
+(crashes arrive as a Poisson process and every crashed process recovers and
+rejoins after an exponential downtime) and sweeps the churn rate for both
+algorithms through the campaign subsystem -- every point is cached, so a
+re-run with ``--cache-dir`` semantics (the ``CACHE_DIR`` constant below)
+only simulates what is missing.
+
+Usage::
+
+    python examples/churn_resilience.py
+"""
+
+from repro.campaigns import CampaignRunner, ResultStore, grid, merge_scenario_results
+
+#: Set to a directory path to make re-runs incremental (or None to disable).
+CACHE_DIR = None
+
+#: Crash arrivals per second swept on the x axis.
+CHURN_RATES = (0.5, 2.0, 5.0)
+MEAN_DOWNTIME = 200.0  # ms a crashed process stays down on average
+DETECTION_TIME = 10.0  # T_D of the failure detectors, ms
+THROUGHPUT = 50.0  # workload, messages/s
+MESSAGES = 120  # measured messages per point
+SEEDS = (1, 2, 3)  # replicas pooled per point
+
+
+def main() -> None:
+    store = ResultStore(CACHE_DIR) if CACHE_DIR else None
+    runner = CampaignRunner(jobs=1, store=store)
+
+    print(
+        f"churn resilience (n = 3, T = {THROUGHPUT:g}/s, downtime = {MEAN_DOWNTIME:g} ms,"
+        f" T_D = {DETECTION_TIME:g} ms, {len(SEEDS)} seeds/point)"
+    )
+    print()
+    header = (
+        f"{'churn [1/s]':>12} | {'FD latency [ms]':>18} | {'GM latency [ms]':>18}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for churn_rate in CHURN_RATES:
+        campaign = grid(
+            "churn-steady",
+            name=f"churn-{churn_rate:g}",
+            algorithms=("fd", "gm"),
+            n_values=(3,),
+            throughputs=(THROUGHPUT,),
+            seeds=SEEDS,
+            num_messages=MESSAGES,
+            churn_rate=churn_rate,
+            mean_downtime=MEAN_DOWNTIME,
+            detection_time=DETECTION_TIME,
+        )
+        run = runner.run(campaign)
+        cells = []
+        for series in campaign.series:
+            (series_point,) = series.points
+            merged = merge_scenario_results(
+                [run.result(point) for point in series_point.points]
+            )
+            summary = merged.summary()
+            cell = f"{summary.mean:8.2f} ± {summary.ci_halfwidth:5.2f}"
+            if not merged.completed:
+                cell += " (!)"
+            cells.append(cell)
+        print(f"{churn_rate:>12g} | {cells[0]:>18} | {cells[1]:>18}")
+
+    print()
+    print("Both algorithms survive churn thanks to recovery (FD: decision catch-up;")
+    print("GM: rejoin view change + state transfer).  The GM algorithm pays two view")
+    print("changes per churn event -- exclusion and re-admission -- so its latency")
+    print("climbs faster with the churn rate than the FD algorithm's, mirroring the")
+    print("suspicion-steady asymmetry of Figs. 6-7 under a harsher fault model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,15 @@ Examples::
     python -m repro.campaigns --scenario suspicion-steady --tmr 100 \\
         --throughputs 10 --seeds 1 2 3 --messages 200
 
+    python -m repro.campaigns --scenario churn --churn-rate 2 --downtime 150 \\
+        --detection-time 10 --throughputs 10 100 --cache-dir .campaign-cache
+
+Seven scenario kinds are available: the paper's four (``normal-steady``,
+``crash-steady``, ``suspicion-steady``, ``crash-transient``) and the
+beyond-paper fault-schedule scenarios (``correlated-crash``,
+``churn-steady``, ``asymmetric-qos``); ``churn`` / ``correlated`` /
+``asymmetric`` / ``normal`` are accepted shorthands.
+
 Every completed point is cached under ``--cache-dir`` (when given), so
 re-running the same grid -- or a larger grid that contains it -- only
 simulates the missing points.
@@ -26,6 +35,17 @@ from repro.campaigns.spec import SCENARIO_KINDS, grid
 from repro.campaigns.store import ResultStore
 from repro.scenarios.results import TransientResult
 
+#: Shorthands accepted by ``--scenario`` in addition to the canonical kinds.
+SCENARIO_ALIASES = {
+    "normal": "normal-steady",
+    "crash": "crash-steady",
+    "suspicion": "suspicion-steady",
+    "transient": "crash-transient",
+    "correlated": "correlated-crash",
+    "churn": "churn-steady",
+    "asymmetric": "asymmetric-qos",
+}
+
 
 def main(argv: List[str] = None) -> int:
     """Build the requested grid, run it and print one line per point."""
@@ -33,7 +53,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--scenario",
         default="normal-steady",
-        choices=SCENARIO_KINDS,
+        choices=sorted(SCENARIO_KINDS) + sorted(SCENARIO_ALIASES),
         help="scenario kind of every point (default: normal-steady)",
     )
     parser.add_argument(
@@ -73,6 +93,36 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--crashed-process", type=int, default=0, help="crashed pid (crash-transient)"
     )
+    parser.add_argument(
+        "--crash-time",
+        type=float,
+        default=0.0,
+        help="correlated crash instant in ms, 0 = mid-window (correlated-crash)",
+    )
+    parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=1.0,
+        help="crash arrivals per second (churn-steady)",
+    )
+    parser.add_argument(
+        "--downtime",
+        type=float,
+        default=200.0,
+        help="mean downtime per crash in ms (churn-steady)",
+    )
+    parser.add_argument(
+        "--flaky-monitor",
+        type=int,
+        default=1,
+        help="observer of the flaky pair (asymmetric-qos)",
+    )
+    parser.add_argument(
+        "--flaky-target",
+        type=int,
+        default=0,
+        help="observed process of the flaky pair (asymmetric-qos)",
+    )
     parser.add_argument("--name", default="adhoc", help="campaign name")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
@@ -80,7 +130,7 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     campaign = grid(
-        args.scenario,
+        SCENARIO_ALIASES.get(args.scenario, args.scenario),
         name=args.name,
         algorithms=args.algorithms,
         n_values=args.n,
@@ -93,6 +143,11 @@ def main(argv: List[str] = None) -> int:
         mistake_duration=args.tm,
         detection_time=args.detection_time,
         crashed_process=args.crashed_process,
+        crash_time=args.crash_time,
+        churn_rate=args.churn_rate,
+        mean_downtime=args.downtime,
+        flaky_monitor=args.flaky_monitor,
+        flaky_target=args.flaky_target,
     )
 
     store = ResultStore(args.cache_dir) if args.cache_dir else None

@@ -15,6 +15,11 @@ from typing import Any, Dict, List, Optional
 from repro.campaigns.records import record_to_result, result_to_record
 from repro.campaigns.spec import CampaignSpec, PointSpec
 from repro.campaigns.store import ResultStore
+from repro.scenarios.extended import (
+    run_asymmetric_qos,
+    run_churn_steady,
+    run_correlated_crash,
+)
 from repro.scenarios.steady import (
     run_crash_steady,
     run_normal_steady,
@@ -53,7 +58,36 @@ def execute_point(point: PointSpec) -> Dict[str, Any]:
             point.throughput,
             detection_time=point.detection_time,
             crashed_process=point.crashed_process,
+            sender=point.sender,
             num_runs=point.num_runs,
+        )
+    elif point.kind == "correlated-crash":
+        result = run_correlated_crash(
+            config,
+            point.throughput,
+            crashed=point.crashed,
+            crash_time=point.crash_time if point.crash_time > 0 else None,
+            detection_time=point.detection_time,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "churn-steady":
+        result = run_churn_steady(
+            config,
+            point.throughput,
+            churn_rate=point.churn_rate,
+            mean_downtime=point.mean_downtime,
+            detection_time=point.detection_time,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "asymmetric-qos":
+        result = run_asymmetric_qos(
+            config,
+            point.throughput,
+            mistake_recurrence_time=point.mistake_recurrence_time,
+            mistake_duration=point.mistake_duration,
+            flaky_monitor=point.flaky_monitor,
+            flaky_target=point.flaky_target,
+            num_messages=point.num_messages,
         )
     else:  # pragma: no cover - PointSpec validates the kind
         raise ValueError(f"unknown scenario kind {point.kind!r}")

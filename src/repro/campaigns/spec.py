@@ -18,21 +18,27 @@ import json
 import math
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.system import ALGORITHMS, SystemConfig
 
-#: Scenario kinds a point can run (the paper's four benchmark scenarios).
+#: Scenario kinds a point can run: the paper's four benchmark scenarios plus
+#: the beyond-paper fault-schedule scenarios.
 SCENARIO_KINDS = (
     "normal-steady",
     "crash-steady",
     "suspicion-steady",
     "crash-transient",
+    "correlated-crash",
+    "churn-steady",
+    "asymmetric-qos",
 )
 
 #: Bump when the meaning of a point's fields changes, to invalidate caches.
-SCHEMA_VERSION = 1
+#: v2: per-pair sender for crash-transient sweeps + the fault-schedule
+#: scenario fields (crash_time, churn_rate, mean_downtime, flaky pair).
+SCHEMA_VERSION = 2
 
 INFINITY = float("inf")
 
@@ -115,10 +121,25 @@ class PointSpec:
     mistake_recurrence_time: float = INFINITY
     #: Mean T_M of the failure detectors, ms (suspicion-steady only).
     mistake_duration: float = 0.0
-    #: Constant T_D of the failure detectors, ms (crash-transient only).
+    #: Constant T_D of the failure detectors, ms (crash-transient,
+    #: correlated-crash and churn-steady).
     detection_time: float = 0.0
     #: Which process crashes (crash-transient only).
     crashed_process: int = 0
+    #: Tagged sender of the probe message (crash-transient only); ``None``
+    #: keeps the driver default (the highest non-crashed pid).
+    sender: Optional[int] = None
+    #: When the correlated crash fires, ms (correlated-crash only); 0 picks
+    #: the middle of the expected arrival window.
+    crash_time: float = 0.0
+    #: Crash arrivals per second (churn-steady only).
+    churn_rate: float = 0.0
+    #: Mean exponential downtime per crash, ms (churn-steady only).
+    mean_downtime: float = 0.0
+    #: The flaky observer pair: ``flaky_monitor`` wrongly suspects
+    #: ``flaky_target`` with the QoS means above (asymmetric-qos only).
+    flaky_monitor: int = 1
+    flaky_target: int = 0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
@@ -131,12 +152,24 @@ class PointSpec:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
             )
-        if self.kind == "suspicion-steady" and not math.isfinite(
+        if self.kind in ("suspicion-steady", "asymmetric-qos") and not math.isfinite(
             self.mistake_recurrence_time
         ):
-            raise ValueError("suspicion-steady points need a finite mistake_recurrence_time")
-        if self.kind == "crash-steady" and not self.crashed:
-            raise ValueError("crash-steady points need a non-empty crashed tuple")
+            raise ValueError(f"{self.kind} points need a finite mistake_recurrence_time")
+        if self.kind in ("crash-steady", "correlated-crash") and not self.crashed:
+            raise ValueError(f"{self.kind} points need a non-empty crashed tuple")
+        if self.kind == "crash-transient" and self.sender == self.crashed_process:
+            raise ValueError("the tagged sender must differ from the crashed process")
+        if self.kind == "churn-steady" and (self.churn_rate <= 0 or self.mean_downtime <= 0):
+            raise ValueError("churn-steady points need churn_rate > 0 and mean_downtime > 0")
+        if self.kind == "asymmetric-qos":
+            if self.flaky_monitor == self.flaky_target:
+                raise ValueError("the flaky observer pair needs two distinct processes")
+            for pid in (self.flaky_monitor, self.flaky_target):
+                if not 0 <= pid < self.n:
+                    raise ValueError(
+                        f"flaky pair process {pid} out of range 0..{self.n - 1}"
+                    )
 
     def config(self) -> SystemConfig:
         """The ``SystemConfig`` this point simulates."""
@@ -169,6 +202,12 @@ class PointSpec:
             "mistake_duration": _json_number(self.mistake_duration),
             "detection_time": _json_number(self.detection_time),
             "crashed_process": int(self.crashed_process),
+            "sender": None if self.sender is None else int(self.sender),
+            "crash_time": _json_number(self.crash_time),
+            "churn_rate": _json_number(self.churn_rate),
+            "mean_downtime": _json_number(self.mean_downtime),
+            "flaky_monitor": int(self.flaky_monitor),
+            "flaky_target": int(self.flaky_target),
             "config_overrides": {
                 name: _json_number(value) for name, value in self.config_overrides
             },
@@ -201,6 +240,17 @@ class PointSpec:
             ),
             "crash-transient": (
                 f" T_D={self.detection_time:g} crash=p{self.crashed_process}"
+                + ("" if self.sender is None else f" sender=p{self.sender}")
+            ),
+            "correlated-crash": (
+                f" crashed={list(self.crashed)} T_D={self.detection_time:g}"
+            ),
+            "churn-steady": (
+                f" churn={self.churn_rate:g}/s downtime={self.mean_downtime:g}ms"
+            ),
+            "asymmetric-qos": (
+                f" p{self.flaky_monitor}~p{self.flaky_target}"
+                f" T_MR={self.mistake_recurrence_time:g} T_M={self.mistake_duration:g}"
             ),
         }[self.kind]
         return (
@@ -277,22 +327,30 @@ def grid(
     mistake_duration: float = 0.0,
     detection_time: float = 0.0,
     crashed_process: int = 0,
+    sender: Any = None,
+    crash_time: float = 0.0,
+    churn_rate: float = 1.0,
+    mean_downtime: float = 200.0,
+    flaky_monitor: int = 1,
+    flaky_target: int = 0,
     config_overrides: Iterable[Tuple[str, Any]] = (),
     description: str = "",
 ) -> CampaignSpec:
     """Build an ad-hoc campaign over the cartesian product of the axes.
 
     One series per ``(algorithm, n)`` pair, one x position per throughput,
-    one replica per seed.  ``crashes`` (crash-steady) selects the highest-
-    numbered processes, matching the paper's non-coordinator convention.
+    one replica per seed.  ``crashes`` (crash-steady and correlated-crash)
+    selects the highest-numbered processes, matching the paper's
+    non-coordinator convention.
     """
     overrides = tuple(config_overrides)
+    crash_kinds = ("crash-steady", "correlated-crash")
     # Duplicate seeds would pool the same simulation twice and shrink the
     # reported CI with zero new information; drop them, preserving order.
     seeds = list(dict.fromkeys(int(seed) for seed in seeds))
     campaign = CampaignSpec(name=name, description=description)
     for n in n_values:
-        if kind == "crash-steady" and crashes > SystemConfig(n=n).max_tolerated_crashes():
+        if kind in crash_kinds and crashes > SystemConfig(n=n).max_tolerated_crashes():
             raise ValueError(f"{crashes} crashes exceed the f < n/2 bound for n={n}")
         for algorithm in algorithms:
             series = SeriesSpec(
@@ -314,22 +372,43 @@ def grid(
                                 num_runs=num_runs,
                                 crashed=(
                                     crashed_processes(n, crashes)
-                                    if kind == "crash-steady"
+                                    if kind in crash_kinds
                                     else ()
                                 ),
                                 mistake_recurrence_time=(
                                     mistake_recurrence_time
-                                    if kind == "suspicion-steady"
+                                    if kind in ("suspicion-steady", "asymmetric-qos")
                                     else INFINITY
                                 ),
                                 mistake_duration=(
-                                    mistake_duration if kind == "suspicion-steady" else 0.0
+                                    mistake_duration
+                                    if kind in ("suspicion-steady", "asymmetric-qos")
+                                    else 0.0
                                 ),
                                 detection_time=(
-                                    detection_time if kind == "crash-transient" else 0.0
+                                    detection_time
+                                    if kind
+                                    in ("crash-transient", "correlated-crash", "churn-steady")
+                                    else 0.0
                                 ),
                                 crashed_process=(
                                     crashed_process if kind == "crash-transient" else 0
+                                ),
+                                sender=(sender if kind == "crash-transient" else None),
+                                crash_time=(
+                                    crash_time if kind == "correlated-crash" else 0.0
+                                ),
+                                churn_rate=(
+                                    churn_rate if kind == "churn-steady" else 0.0
+                                ),
+                                mean_downtime=(
+                                    mean_downtime if kind == "churn-steady" else 0.0
+                                ),
+                                flaky_monitor=(
+                                    flaky_monitor if kind == "asymmetric-qos" else 1
+                                ),
+                                flaky_target=(
+                                    flaky_target if kind == "asymmetric-qos" else 0
                                 ),
                                 config_overrides=overrides,
                             )

@@ -195,7 +195,14 @@ class ConsensusInstance:
             if sender != coordinator or coordinator == self.pid:
                 return
             value = body[3]
-            if round_number in self._acked_round or round_number in self._nacked_round:
+            if round_number in self._acked_round:
+                # Duplicate proposal: a crash-recovered coordinator
+                # re-multicast it because the original round may have been
+                # cut short -- repeat the acknowledgement, ours may be the
+                # missing one.
+                self._send(coordinator, (_ACK, self.cid, round_number))
+                return
+            if round_number in self._nacked_round:
                 return
             self._received_proposal[round_number] = value
             self.estimate = value
@@ -292,6 +299,39 @@ class ConsensusInstance:
         if not self.decided and self.round == round_number:
             self._maybe_abandon_round(round_number, deferred=True)
 
+    # ------------------------------------------------------------------ recovery
+
+    def resync_after_recovery(self) -> None:
+        """Re-stimulate this instance after the local process recovered.
+
+        Messages exchanged while the process was down were dropped, so the
+        instance may be mutually blocked: a coordinator waiting for lost
+        acknowledgements, or this process waiting for a proposal that was
+        multicast while it could not receive.  A coordinator re-multicasts
+        its pending proposal (receivers acknowledge duplicates); a
+        non-coordinator abandons the current round exactly as if it
+        suspected the coordinator, re-entering the rotation with fresh
+        messages.
+        """
+        if self.decided:
+            return
+        round_number = self.round
+        coordinator = self.coordinator_of(round_number)
+        if coordinator == self.pid:
+            if round_number in self._proposal_sent:
+                self._multicast(
+                    self._others(),
+                    (_PROPOSE, self.cid, round_number, self._proposal_value[round_number]),
+                )
+            else:
+                # Waiting for estimates that may have been sent while this
+                # process was down: abandon the round and rejoin the
+                # rotation, which sends a fresh estimate to the next
+                # coordinator.
+                self._enter_round(round_number + 1)
+            return
+        self.on_suspicion_change(coordinator, True)
+
     # ------------------------------------------------------------------ suspicions
 
     def on_suspicion_change(self, pid: int, suspected: bool) -> None:
@@ -362,6 +402,11 @@ class ConsensusService(Component):
         detector = self.process.failure_detector
         if detector is not None:
             detector.add_listener(self._on_suspicion_change)
+
+    def on_recover(self) -> None:
+        """Re-stimulate every undecided instance after a crash recovery."""
+        for instance in list(self._instances.values()):
+            instance.resync_after_recovery()
 
     # ------------------------------------------------------------------ API
 

@@ -7,6 +7,12 @@ messages decided by instance ``k`` are A-delivered before those of instance
 ``k + 1`` and, within an instance, in the deterministic order of their
 identifiers.
 
+Crash *recovery* (beyond the paper's crash-stop model) works with a warm
+restart plus a catch-up exchange: a recovered process asks its peers for the
+consensus decisions (and message payloads) it missed while down, applies them
+in instance order -- so its delivery sequence stays a prefix of the group's
+total order -- and then resumes proposing from the group's frontier.
+
 Two practical details follow the paper:
 
 * **Aggregation** -- all the messages pending when an instance starts are
@@ -31,6 +37,10 @@ from repro.core.types import AtomicBroadcast, BroadcastID
 from repro.sim.process import SimProcess
 
 _DATA_TAG = "AB_DATA"
+_CATCHUP_REQ = "AB_CATCHUP_REQ"
+_CATCHUP_RESP = "AB_CATCHUP_RESP"
+_PAYLOAD_REQ = "AB_PAYLOAD_REQ"
+_PAYLOAD_RESP = "AB_PAYLOAD_RESP"
 
 
 class FDAtomicBroadcast(AtomicBroadcast):
@@ -69,6 +79,11 @@ class FDAtomicBroadcast(AtomicBroadcast):
         self._next_delivery = 1
         self._highest_proposed = 0
         self._inflight_proposals: Dict[int, Set[BroadcastID]] = {}
+        # Crash-recovery bookkeeping: whether this process ever recovered
+        # (payload re-requests are only needed -- and only allowed -- then),
+        # and which payloads it already asked its peers for.
+        self._recovered_once = False
+        self._requested_payloads: Set[BroadcastID] = set()
         #: Diagnostics: number of consensus instances this process proposed in.
         self.consensus_started = 0
 
@@ -86,8 +101,107 @@ class FDAtomicBroadcast(AtomicBroadcast):
         return broadcast_id
 
     def on_message(self, sender: int, body: Any) -> None:
-        """The FD algorithm exchanges no messages of its own protocol."""
-        raise RuntimeError(f"unexpected direct message to the FD abcast: {body!r}")
+        """Handle a catch-up message (the only direct messages of this protocol)."""
+        kind = body[0]
+        if kind == _CATCHUP_REQ:
+            self._on_catchup_request(sender, body[1])
+        elif kind == _CATCHUP_RESP:
+            self._on_catchup_response(body[1])
+        elif kind == _PAYLOAD_REQ:
+            self._on_payload_request(sender, body[1])
+        elif kind == _PAYLOAD_RESP:
+            self._on_payload_response(body[1])
+        else:
+            raise RuntimeError(f"unexpected direct message to the FD abcast: {body!r}")
+
+    # ------------------------------------------------------------------ recovery
+
+    def on_recover(self) -> None:
+        """Ask every peer for the decisions missed while this process was down.
+
+        The request reaches back to the delivery frontier, not just the
+        decision frontier: an instance may be decided locally while its
+        payloads are still missing (they were dropped during the crash), and
+        the catch-up responses are the only way to refetch them.
+        """
+        self._recovered_once = True
+        self._requested_payloads.clear()  # allow re-requests after this recovery
+        # Asking every peer trades a little duplicate traffic (n - 1 full
+        # responses per recovery) for robustness: any single chosen peer may
+        # itself be down right now.  At the paper's system sizes the cost is
+        # negligible.
+        others = [pid for pid in self.participants if pid != self.pid]
+        if others:
+            since = min(self._next_delivery - 1, self._last_decided)
+            self.send(others, (_CATCHUP_REQ, since))
+
+    def _on_catchup_request(self, sender: int, since: int) -> None:
+        if self._last_decided <= since:
+            return
+        entries = []
+        for k in range(since + 1, self._last_decided + 1):
+            proposer, broadcast_ids = self._decisions[k]
+            payloads = tuple(
+                (bid, self._payloads[bid]) for bid in broadcast_ids if bid in self._payloads
+            )
+            entries.append((k, proposer, broadcast_ids, payloads))
+        self.send_one(sender, (_CATCHUP_RESP, tuple(entries)))
+
+    def _on_catchup_response(self, entries: Tuple) -> None:
+        for k, proposer, broadcast_ids, payloads in entries:
+            for broadcast_id, payload in payloads:
+                self._payloads.setdefault(broadcast_id, payload)
+            if k not in self._decisions:
+                self._decisions[k] = (proposer, tuple(broadcast_ids))
+                self._ordered.update(broadcast_ids)
+                self._pending.difference_update(broadcast_ids)
+        while self._last_decided + 1 in self._decisions:
+            self._last_decided += 1
+        # Proposals left in flight across the crash would pin their messages
+        # forever (their instances were decided without us): release them and
+        # rejoin the pipeline at the group's frontier.
+        for k in list(self._inflight_proposals):
+            if k <= self._last_decided:
+                claimed = self._inflight_proposals.pop(k)
+                self._pending.update(claimed - self._ordered)
+        if self._highest_proposed < self._last_decided:
+            self._highest_proposed = self._last_decided
+        self._try_deliver()
+        self._maybe_start_consensus()
+
+    def _request_missing_payloads(self, broadcast_ids) -> None:
+        """Ask the peers for payloads a decision references but we never got.
+
+        Only armed after a recovery: in crash-free runs every payload arrives
+        by reliable broadcast before (or shortly after) its decision, but a
+        DATA multicast sent while this process was down is dropped and -- the
+        origin being alive and trusted -- never relayed.  An instance that
+        was still undecided when the catch-up responses were built can
+        therefore decide later with payloads only this path can recover.
+        """
+        if not self._recovered_once:
+            return
+        missing = tuple(
+            bid for bid in broadcast_ids if bid not in self._requested_payloads
+        )
+        if not missing:
+            return
+        self._requested_payloads.update(missing)
+        others = [pid for pid in self.participants if pid != self.pid]
+        if others:
+            self.send(others, (_PAYLOAD_REQ, missing))
+
+    def _on_payload_request(self, sender: int, broadcast_ids: Tuple) -> None:
+        entries = tuple(
+            (bid, self._payloads[bid]) for bid in broadcast_ids if bid in self._payloads
+        )
+        if entries:
+            self.send_one(sender, (_PAYLOAD_RESP, entries))
+
+    def _on_payload_response(self, entries: Tuple) -> None:
+        for broadcast_id, payload in entries:
+            self._payloads.setdefault(broadcast_id, payload)
+        self._try_deliver()
 
     # ------------------------------------------------------------------ data dissemination
 
@@ -194,8 +308,11 @@ class FDAtomicBroadcast(AtomicBroadcast):
             _proposer, broadcast_ids = self._decisions[self._next_delivery]
             missing = [bid for bid in broadcast_ids if bid not in self._payloads]
             if missing:
-                # Wait for the payloads (they arrive by reliable broadcast); the
-                # delivery loop resumes from _on_rbcast_delivery.
+                # Wait for the payloads (they arrive by reliable broadcast; a
+                # recovered process additionally re-requests ones whose DATA
+                # was dropped while it was down); the delivery loop resumes
+                # from _on_rbcast_delivery or _on_payload_response.
+                self._request_missing_payloads(missing)
                 return
             for broadcast_id in sorted(broadcast_ids):
                 if self._deliver(broadcast_id, self._payloads[broadcast_id]):

@@ -25,6 +25,21 @@ to the members they know of, a member includes them in the next view change,
 and the rejoining process synchronises its state with a state transfer (it
 asks a member for the messages it missed while excluded) before resuming
 normal operation -- exactly the scheme of Section 4.3 of the paper.
+
+Crash *recovery* (beyond the paper's crash-stop model) combines both
+mechanisms.  A process that recovers while it still believes it is a member
+starts a view change in its current view and participates fully -- it sends
+its ``SYNC`` (asking peers to retransmit theirs) and takes part in the
+consensus, which keeps the view change live even when every other member is
+also recovering; when the new view is decided it installs it like any other
+member, the view-synchrony union covering everything it missed (nothing a
+member has not delivered can be stable, because stability requires its own
+acknowledgement).  A process that recovers after the group already excluded
+it -- or whose restarted view change turns out to be stale because the group
+moved on -- re-enters through the join protocol instead: members answer its
+stale messages with the current view (if it is still a member of it) or a
+not-member notification, and the join protocol's state transfer replays the
+log suffix it missed before it operates again.
 """
 
 from __future__ import annotations
@@ -83,6 +98,10 @@ class GroupMembership(Component):
         self._proposed = False
         self._syncs: Dict[int, Tuple] = {}
         self._joiners_seen: Set[int] = set()
+        #: Whether this process is reconciling after a crash recovery: it
+        #: participates in view changes but must re-enter the decided view
+        #: through a state transfer instead of installing it directly.
+        self._recovering = False
 
         self._pending_joins: Set[int] = set()
         self._future: Dict[int, List[Tuple[int, Any]]] = {}
@@ -154,6 +173,32 @@ class GroupMembership(Component):
             ):
                 self._start_view_change()
 
+    def on_recover(self) -> None:
+        """Reconcile with the group after a crash recovery.
+
+        Still-a-member: start (or restart) a view change in the current view
+        and take part in it normally.  This is sound because nothing the
+        process missed can be *stable*: stability requires its own
+        acknowledgement, so every message delivered while it was down is
+        still in the other members' unstable sets and reaches it through the
+        view-synchrony union (the broadcast layer additionally replays its
+        own acknowledged-but-undelivered batches, see
+        ``SequencerAtomicBroadcast.deliver_view_change``).  If the group
+        moved on without this process, its stale view-change message is
+        answered with the current view (state transfer) or a not-member
+        notification (join protocol).  Already excluded (or mid-join):
+        restart the join protocol.
+        """
+        self._recovering = True
+        if self._status in (EXCLUDED, JOINING):
+            self._status = EXCLUDED
+            self._reset_view_change_state()
+            self._attempt_join()
+            return
+        self._status = MEMBER
+        self._reset_view_change_state()
+        self._start_view_change(resync=True)
+
     # ------------------------------------------------------------------ failure detector
 
     def _suspects(self, pid: int) -> bool:
@@ -177,7 +222,8 @@ class GroupMembership(Component):
         """Dispatch a group membership message."""
         kind = body[0]
         if kind == _VIEW_CHANGE:
-            self._on_view_change_msg(sender, body[1])
+            # body[2] (the resync flag) is absent in the legacy two-field form.
+            self._on_view_change_msg(sender, body[1], len(body) > 2 and body[2])
         elif kind == _SYNC:
             self._on_sync(sender, body[1], body[2], body[3])
         elif kind == _JOIN_REQ:
@@ -195,7 +241,13 @@ class GroupMembership(Component):
 
     # ------------------------------------------------------------------ view change
 
-    def _start_view_change(self) -> None:
+    def _start_view_change(self, resync: bool = False) -> None:
+        """Enter the view change of the current view.
+
+        ``resync`` is set by a crash-recovered member: it asks the other
+        participants to retransmit their ``SYNC`` messages, because any sync
+        multicast while this process was down was dropped by the network.
+        """
         if self._status != MEMBER:
             return
         self._status = VIEW_CHANGE_IN_PROGRESS
@@ -204,26 +256,48 @@ class GroupMembership(Component):
         members = list(self._view.members)
         if not self._vc_sent:
             self._vc_sent = True
-            self.send(members, (_VIEW_CHANGE, self._view.view_id))
+            self.send(members, (_VIEW_CHANGE, self._view.view_id, resync))
         self._send_sync()
+
+    def _sync_message(self) -> Tuple:
+        """The SYNC message for the current view change."""
+        unstable = ()
+        if self._handler is not None:
+            unstable = tuple(self._handler.collect_unstable())
+        joiners = tuple(sorted(j for j in self._pending_joins if not self._suspects(j)))
+        return (_SYNC, self._view.view_id, unstable, joiners)
 
     def _send_sync(self) -> None:
         if self._sync_sent:
             return
         self._sync_sent = True
-        unstable = ()
-        if self._handler is not None:
-            unstable = tuple(self._handler.collect_unstable())
-        joiners = tuple(sorted(j for j in self._pending_joins if not self._suspects(j)))
-        self.send(list(self._view.members), (_SYNC, self._view.view_id, unstable, joiners))
+        self.send(list(self._view.members), self._sync_message())
 
-    def _on_view_change_msg(self, sender: int, view_id: int) -> None:
+    def _on_view_change_msg(self, sender: int, view_id: int, resync: bool) -> None:
         if view_id != self._view.view_id or not self.is_member():
             if view_id > self._view.view_id:
-                self._future.setdefault(view_id, []).append((sender, (_VIEW_CHANGE, view_id)))
+                self._future.setdefault(view_id, []).append(
+                    (sender, (_VIEW_CHANGE, view_id, resync))
+                )
+            elif view_id < self._view.view_id and self.is_member():
+                # A stale view change comes from a process that missed the
+                # group's progress while it was down.  Point it at the
+                # current view: a current member re-enters through a state
+                # transfer, anyone else restarts the join protocol.
+                if sender in self._view.members:
+                    self.send_one(
+                        sender, (_VIEW_INSTALL, self._view.view_id, self._view.members)
+                    )
+                else:
+                    self.report_stale_sender(sender, view_id)
             return
         if self._status == MEMBER:
             self._start_view_change()
+        elif resync and self._sync_sent and sender != self.pid:
+            # A recovered member restarted this view change; our SYNC was
+            # multicast while it was down and got dropped, so repeat it for
+            # that member alone.
+            self.send_one(sender, self._sync_message())
 
     def _on_sync(self, sender: int, view_id: int, entries: Tuple, joiners: Tuple) -> None:
         if view_id != self._view.view_id or not self.is_member():
@@ -305,6 +379,7 @@ class GroupMembership(Component):
         self._view = view
         self._last_known_view = view
         self._status = MEMBER
+        self._recovering = False
         self.views_installed += 1
         self._reset_view_change_state()
         self._pending_joins.difference_update(view.members)
@@ -312,6 +387,10 @@ class GroupMembership(Component):
             self._handler.on_view_installed(view)
         for listener in list(self._view_listeners):
             listener(view)
+        # The sequencer notifies the joiners.  If it crashed between syncing
+        # and installing, the joiners' periodic join retries reach the other
+        # members, which answer with the view directly (see
+        # :meth:`_on_join_request`), so nobody is stranded.
         if notify_joiners and view.sequencer == self.pid:
             for joiner in notify_joiners:
                 self.send_one(joiner, (_VIEW_INSTALL, view.view_id, view.members))
@@ -384,8 +463,9 @@ class GroupMembership(Component):
         if not self.is_member():
             return
         if sender in self._view.members:
-            # The joiner is already part of the current view (it probably
-            # missed the VIEW_INSTALL notification): tell it directly.
+            # The joiner is already part of the current view (it missed the
+            # VIEW_INSTALL notification, or is re-entering it after a crash
+            # recovery): tell it directly; the state transfer catches it up.
             self.send_one(sender, (_VIEW_INSTALL, self._view.view_id, self._view.members))
             return
         self._pending_joins.add(sender)
@@ -402,10 +482,17 @@ class GroupMembership(Component):
         self.set_timer(self.join_retry_interval, self._attempt_join)
 
     def _on_view_install_msg(self, sender: int, view_id: int, members: Tuple[int, ...]) -> None:
-        if self._status not in (EXCLUDED, JOINING):
-            return
         if view_id <= self._view.view_id or self.pid not in members:
             return
+        if self._status not in (EXCLUDED, JOINING):
+            # A member only receives a VIEW_INSTALL for a higher view when it
+            # sent a stale view change after a crash recovery: the group
+            # moved on while it was down.  Re-enter through the state
+            # transfer, with the join retry timer guarding against the
+            # responder failing mid-transfer.
+            if not self._recovering:
+                return
+            self.set_timer(self.join_retry_interval, self._attempt_join)
         self._status = JOINING
         self._last_known_view = View(view_id, tuple(members))
         delivered = self._handler.delivered_count if self._handler is not None else 0

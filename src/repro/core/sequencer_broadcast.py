@@ -404,7 +404,14 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
         self._frozen = True
 
     def deliver_view_change(self, entries: Tuple) -> None:
-        """Deliver the decided union of unstable messages (view synchrony)."""
+        """Deliver the decided union of unstable messages (view synchrony).
+
+        The union also covers crash-recovered members: a recovered process
+        freezes this layer before any post-recovery stability update can
+        reach it, so everything it missed while down is still in its own (or
+        another member's) advertised unstable set -- nothing it has not
+        delivered can have left every sync.
+        """
         with_seqnum = sorted(
             (entry for entry in entries if entry[2] is not None), key=lambda e: e[2]
         )

@@ -11,6 +11,13 @@ processes; the tables are bit-identical to a serial run.  With
 ``--cache-dir`` every completed point is persisted, so an interrupted sweep
 resumes where it stopped and shared points (e.g. the no-crash curves of
 Figs. 4 and 5 in quick mode) are simulated only once.
+
+Beyond the figures, ``--scenario`` runs any of the seven scenario kinds as
+an ad-hoc campaign grid (delegating to ``python -m repro.campaigns``, whose
+options apply)::
+
+    python -m repro.experiments --scenario churn --churn-rate 2 \\
+        --throughputs 10 100 --jobs 4 --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -37,6 +44,14 @@ FIGURES = {
 
 def main(argv: List[str] = None) -> int:
     """Run the requested figure experiments and print/write the tables."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if any(arg == "--scenario" or arg.startswith("--scenario=") for arg in argv):
+        # Scenario grids (including the beyond-paper fault-schedule
+        # scenarios) are campaign runs: hand the full command line to the
+        # campaign CLI, which shares --jobs / --cache-dir / -o.
+        from repro.campaigns.__main__ import main as campaign_main
+
+        return campaign_main(argv)
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--figure",

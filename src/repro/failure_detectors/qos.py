@@ -8,13 +8,24 @@ exchanging any messages.  This is the abstraction used by the paper
 * the detection time ``T_D`` is a constant,
 * the mistake recurrence time ``T_MR`` and the mistake duration ``T_M`` are
   exponentially distributed,
-* all monitor pairs are independent and identically distributed.
+* all monitor pairs are independent.
+
+The paper assumes all pairs are identically distributed; this implementation
+additionally supports **asymmetric per-pair QoS**: any ordered pair
+``(monitor, monitored)`` can override the global parameters (for instance one
+flaky observer that wrongly suspects one peer far more often than everyone
+else), which is what the beyond-paper ``asymmetric-qos`` scenario sweeps.
+
+Crash *recovery* is supported: when a monitored process recovers, pending
+crash detections are cancelled (a crash shorter than ``T_D`` goes unnoticed,
+as with real heartbeat-style detectors) and monitors that did suspect it
+trust it again one detection time after the recovery.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.failure_detectors.interface import FailureDetector
@@ -23,6 +34,9 @@ from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
 
 INFINITY = float("inf")
+
+#: An ordered (monitor, monitored) failure detector pair.
+Pair = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -33,6 +47,7 @@ class QoSConfig:
     ----------
     detection_time:
         ``T_D``: time from a crash to its permanent detection (constant).
+        Also the time from a recovery back to trust.
     mistake_recurrence_time:
         Mean of the exponential ``T_MR``: time between two consecutive wrong
         suspicions of a correct process.  ``inf`` disables wrong suspicions.
@@ -40,11 +55,16 @@ class QoSConfig:
         Mean of the exponential ``T_M``: how long a wrong suspicion lasts.
         Zero produces instantaneous mistakes (suspect and trust back-to-back,
         which still triggers the algorithms' reactions).
+    pair_overrides:
+        Per-pair overrides: ``(((monitor, monitored), QoSConfig), ...)``.
+        The override applies to that ordered observer pair only; every other
+        pair uses the top-level parameters.  Overrides cannot nest.
     """
 
     detection_time: float = 0.0
     mistake_recurrence_time: float = INFINITY
     mistake_duration: float = 0.0
+    pair_overrides: Tuple[Tuple[Pair, "QoSConfig"], ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.detection_time < 0:
@@ -56,11 +76,58 @@ class QoSConfig:
             )
         if self.mistake_duration < 0:
             raise ValueError(f"mistake_duration must be >= 0, got {self.mistake_duration}")
+        for (monitor, monitored), override in self.pair_overrides:
+            if monitor == monitored:
+                raise ValueError(f"a process does not monitor itself: pair {monitor!r}")
+            if override.pair_overrides:
+                raise ValueError("pair overrides cannot nest further overrides")
 
     @property
     def generates_mistakes(self) -> bool:
         """Whether this configuration produces wrong suspicions at all."""
-        return math.isfinite(self.mistake_recurrence_time)
+        if math.isfinite(self.mistake_recurrence_time):
+            return True
+        return any(
+            math.isfinite(override.mistake_recurrence_time)
+            for _pair, override in self.pair_overrides
+        )
+
+    def pair(self, monitor: int, monitored: int) -> "QoSConfig":
+        """The effective parameters of the ordered pair ``(monitor, monitored)``."""
+        for pair, override in self.pair_overrides:
+            if pair == (monitor, monitored):
+                return override
+        return self
+
+    def with_pair(self, monitor: int, monitored: int, **changes: float) -> "QoSConfig":
+        """A copy of this configuration with one per-pair override.
+
+        Keyword arguments name the QoS fields that differ for the ordered
+        pair (``detection_time``, ``mistake_recurrence_time``,
+        ``mistake_duration``); every field *not* named inherits this
+        configuration's value, so overriding the mistake parameters of one
+        pair does not silently reset its detection time.
+        """
+        override = QoSConfig(
+            detection_time=changes.pop("detection_time", self.detection_time),
+            mistake_recurrence_time=changes.pop(
+                "mistake_recurrence_time", self.mistake_recurrence_time
+            ),
+            mistake_duration=changes.pop("mistake_duration", self.mistake_duration),
+        )
+        if changes:
+            raise TypeError(f"unknown QoS fields: {sorted(changes)}")
+        kept = tuple(
+            (pair, config)
+            for pair, config in self.pair_overrides
+            if pair != (monitor, monitored)
+        )
+        return QoSConfig(
+            detection_time=self.detection_time,
+            mistake_recurrence_time=self.mistake_recurrence_time,
+            mistake_duration=self.mistake_duration,
+            pair_overrides=kept + (((monitor, monitored), override),),
+        )
 
 
 class QoSFailureDetector(FailureDetector):
@@ -87,10 +154,16 @@ class QoSFailureDetectorFabric:
         self._detectors: Dict[int, QoSFailureDetector] = {
             pid: QoSFailureDetector(pid, pids) for pid in pids
         }
-        # Pending events per ordered monitor pair (monitor, monitored).
-        self._pending: Dict[Tuple[int, int], List[EventHandle]] = {}
+        # Pending mistake events per ordered monitor pair (monitor, monitored).
+        self._pending: Dict[Pair, List[EventHandle]] = {}
+        # Pending crash detections / post-recovery trust restorations, so a
+        # recovery (resp. a re-crash) can cancel them.
+        self._pending_detect: Dict[Pair, EventHandle] = {}
+        self._pending_trust: Dict[Pair, EventHandle] = {}
         self._crashed: set = set()
+        self._started = False
         network.add_crash_listener(self._on_crash)
+        network.add_recovery_listener(self._on_recovery)
 
     # ------------------------------------------------------------------ access
 
@@ -102,10 +175,14 @@ class QoSFailureDetectorFabric:
         """All detectors, keyed by owner process id."""
         return dict(self._detectors)
 
+    def _pair_config(self, monitor: int, monitored: int) -> QoSConfig:
+        return self.config.pair(monitor, monitored)
+
     # ------------------------------------------------------------------ lifecycle
 
     def start(self) -> None:
         """Begin generating wrong suspicions (call once before the run)."""
+        self._started = True
         if not self.config.generates_mistakes:
             return
         for monitor in self._detectors:
@@ -129,6 +206,42 @@ class QoSFailureDetectorFabric:
             else:
                 self._sim.schedule(delay, detector._set_suspected, monitored, True)
 
+    def suspect_during(
+        self,
+        target: int,
+        start: float,
+        duration: float,
+        monitors: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``.
+
+        Every monitor in ``monitors`` (default: all) suspects ``target`` at
+        absolute time ``start`` and trusts it again ``duration`` later --
+        the deterministic counterpart of the random QoS mistakes, used by
+        declarative fault schedules.  Crashed endpoints are skipped at fire
+        time, and the suspicion is not lifted if ``target`` really crashed
+        in the meantime.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        pids = self._detectors.keys() if monitors is None else monitors
+        for monitor in pids:
+            if monitor == target:
+                continue
+            self._sim.schedule_at(start, self._forced_begins, monitor, target, duration)
+
+    def _forced_begins(self, monitor: int, target: int, duration: float) -> None:
+        if target in self._crashed or monitor in self._crashed:
+            return
+        detector = self._detectors[monitor]
+        if detector.is_suspected(target):
+            return
+        detector._set_suspected(target, True)
+        if duration <= 0:
+            detector._set_suspected(target, False)
+        else:
+            self._sim.schedule(duration, self._mistake_ends, monitor, target)
+
     # ------------------------------------------------------------------ crashes
 
     def _on_crash(self, pid: int, _time: float) -> None:
@@ -139,20 +252,69 @@ class QoSFailureDetectorFabric:
             if monitor == pid:
                 continue
             self._cancel_pending(monitor, pid)
-            self._sim.schedule(
-                self.config.detection_time, self._detect_crash, monitor, pid
+            self._cancel_trust(monitor, pid)
+            detection_time = self._pair_config(monitor, pid).detection_time
+            self._pending_detect[(monitor, pid)] = self._sim.schedule(
+                detection_time, self._detect_crash, monitor, pid
             )
 
     def _detect_crash(self, monitor: int, crashed: int) -> None:
+        self._pending_detect.pop((monitor, crashed), None)
         self._detectors[monitor]._set_suspected(crashed, True)
+
+    # ------------------------------------------------------------------ recoveries
+
+    def _on_recovery(self, pid: int, _time: float) -> None:
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        for monitor in self._detectors:
+            if monitor == pid:
+                continue
+            # A crash shorter than the detection time goes unnoticed.
+            pending = self._pending_detect.pop((monitor, pid), None)
+            if pending is not None:
+                pending.cancel()
+            if self._detectors[monitor].is_suspected(pid):
+                detection_time = self._pair_config(monitor, pid).detection_time
+                self._pending_trust[(monitor, pid)] = self._sim.schedule(
+                    detection_time, self._restore_trust, monitor, pid
+                )
+            # Wrong-suspicion generation resumes in both directions.
+            if self._started:
+                self._restart_mistakes(monitor, pid)
+                self._restart_mistakes(pid, monitor)
+
+    def _restore_trust(self, monitor: int, recovered: int) -> None:
+        self._pending_trust.pop((monitor, recovered), None)
+        if recovered in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(recovered, False)
+
+    def _restart_mistakes(self, monitor: int, monitored: int) -> None:
+        if monitor in self._crashed or monitored in self._crashed:
+            return
+        self._cancel_pending(monitor, monitored)
+        # Cancelling may have killed the end event of a wrong suspicion that
+        # was in progress when the crash hit; lift it now or it never ends.
+        # Real crash detections are excluded: those pairs have a pending
+        # trust restoration that owns the (delayed) correction.
+        detector = self._detectors[monitor]
+        if (
+            detector.is_suspected(monitored)
+            and (monitor, monitored) not in self._pending_trust
+        ):
+            detector._set_suspected(monitored, False)
+        self._schedule_next_mistake(monitor, monitored)
 
     # ------------------------------------------------------------------ mistakes
 
     def _schedule_next_mistake(self, monitor: int, monitored: int) -> None:
         if monitored in self._crashed or monitor in self._crashed:
             return
+        config = self._pair_config(monitor, monitored)
         interval = self._rng.exponential(
-            f"fd/{monitor}/{monitored}/recurrence", self.config.mistake_recurrence_time
+            f"fd/{monitor}/{monitored}/recurrence", config.mistake_recurrence_time
         )
         if not math.isfinite(interval):
             return
@@ -164,7 +326,8 @@ class QoSFailureDetectorFabric:
             return
         detector = self._detectors[monitor]
         duration = self._rng.exponential(
-            f"fd/{monitor}/{monitored}/duration", self.config.mistake_duration
+            f"fd/{monitor}/{monitored}/duration",
+            self._pair_config(monitor, monitored).mistake_duration,
         )
         if not detector.is_suspected(monitored):
             detector._set_suspected(monitored, True)
@@ -189,4 +352,9 @@ class QoSFailureDetectorFabric:
 
     def _cancel_pending(self, monitor: int, monitored: int) -> None:
         for handle in self._pending.pop((monitor, monitored), []):
+            handle.cancel()
+
+    def _cancel_trust(self, monitor: int, monitored: int) -> None:
+        handle = self._pending_trust.pop((monitor, monitored), None)
+        if handle is not None:
             handle.cancel()

@@ -1,12 +1,36 @@
-"""The paper's four benchmark scenarios.
+"""Benchmark scenarios: the paper's four plus beyond-paper fault schedules.
+
+The paper's scenarios:
 
 * :func:`run_normal_steady`    -- Fig. 4,
 * :func:`run_crash_steady`     -- Fig. 5,
 * :func:`run_suspicion_steady` -- Figs. 6 and 7,
 * :func:`run_crash_transient`  -- Fig. 8.
+
+Beyond-paper scenarios unlocked by the declarative fault-schedule engine
+(:mod:`repro.scenarios.faults` + :mod:`repro.scenarios.runner`):
+
+* :func:`run_correlated_crash` -- a simultaneous multi-process crash inside
+  the measured window,
+* :func:`run_churn_steady`     -- Poisson crash-recovery churn with rejoin,
+* :func:`run_asymmetric_qos`   -- one flaky failure detector pair.
 """
 
+from repro.scenarios.extended import (
+    run_asymmetric_qos,
+    run_churn_steady,
+    run_correlated_crash,
+)
+from repro.scenarios.faults import (
+    CorrelatedCrash,
+    CrashAt,
+    FaultSchedule,
+    PoissonChurn,
+    RecoverAt,
+    SuspectDuring,
+)
 from repro.scenarios.results import ScenarioResult, TransientResult
+from repro.scenarios.runner import ProbeSpec, ScenarioRunner, SteadyStateSpec
 from repro.scenarios.steady import (
     run_crash_steady,
     run_normal_steady,
@@ -15,8 +39,20 @@ from repro.scenarios.steady import (
 from repro.scenarios.transient import run_crash_transient, sweep_crash_transient
 
 __all__ = [
+    "CorrelatedCrash",
+    "CrashAt",
+    "FaultSchedule",
+    "PoissonChurn",
+    "ProbeSpec",
+    "RecoverAt",
     "ScenarioResult",
+    "ScenarioRunner",
+    "SteadyStateSpec",
+    "SuspectDuring",
     "TransientResult",
+    "run_asymmetric_qos",
+    "run_churn_steady",
+    "run_correlated_crash",
     "run_crash_steady",
     "run_crash_transient",
     "run_normal_steady",

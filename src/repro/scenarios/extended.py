@@ -1,0 +1,192 @@
+"""Beyond-paper fault-schedule scenarios.
+
+The paper measures four scenarios; the declarative fault-schedule engine
+makes three genuinely new workloads one spec each:
+
+* ``correlated-crash`` -- a group of processes crashes *simultaneously* in
+  the middle of the measured window (shared-fate fault), and the measurement
+  spans the crash: the result mixes pre-crash, transient and post-crash
+  latencies into one distribution.
+* ``churn-steady``     -- Poisson crash-recovery churn: processes keep
+  crashing and coming back (rejoining via view change / catch-up), never
+  violating ``f < n/2`` at any instant.
+* ``asymmetric-qos``   -- one flaky *observer pair*: a single failure
+  detector pair ``(p observes q)`` has much worse QoS than every other pair,
+  probing how far one bad link degrades each algorithm.
+
+All three are steady-state measurements executed by the shared
+:class:`repro.scenarios.runner.ScenarioRunner`, so they sweep, cache and
+aggregate through the campaign subsystem exactly like the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.failure_detectors.qos import QoSConfig
+from repro.metrics.stats import interarrival_from_throughput
+from repro.scenarios.faults import CorrelatedCrash, FaultSchedule, PoissonChurn
+from repro.scenarios.results import ScenarioResult
+from repro.scenarios.runner import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MESSAGES,
+    DEFAULT_WARMUP_FRACTION,
+    ScenarioRunner,
+    SteadyStateSpec,
+)
+from repro.system import SystemConfig
+
+__all__ = [
+    "run_asymmetric_qos",
+    "run_churn_steady",
+    "run_correlated_crash",
+]
+
+
+def _arrival_window(num_messages: int, warmup_fraction: float, throughput: float) -> float:
+    """Expected length of the arrival window in ms (for default fault timing)."""
+    total = int(math.ceil(num_messages * warmup_fraction)) + num_messages
+    return total * interarrival_from_throughput(throughput)
+
+
+def run_correlated_crash(
+    config: SystemConfig,
+    throughput: float,
+    crashed: Sequence[int],
+    crash_time: Optional[float] = None,
+    detection_time: float = 10.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency across a simultaneous crash of ``crashed``.
+
+    All processes in ``crashed`` fail at ``crash_time`` (default: the middle
+    of the expected arrival window), each crash detected ``detection_time``
+    ms later.  Workload arrivals that would have been sent by a crashed
+    process are redirected to the next live process.
+    """
+    crashed = tuple(crashed)
+    if not crashed:
+        raise ValueError("correlated-crash needs a non-empty crash group")
+    if len(crashed) > config.max_tolerated_crashes():
+        raise ValueError(
+            f"{len(crashed)} simultaneous crashes exceed the f < n/2 bound "
+            f"for n={config.n}"
+        )
+    if crash_time is None:
+        crash_time = 0.5 * _arrival_window(num_messages, warmup_fraction, throughput)
+    spec = SteadyStateSpec(
+        scenario="correlated-crash",
+        config=replace(config, fd=QoSConfig(detection_time=detection_time)),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=FaultSchedule([CorrelatedCrash(crash_time, crashed)]),
+        senders=list(range(config.n)),
+        reassign_crashed_senders=True,
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "crashed": crashed,
+            "crash_time": crash_time,
+            "detection_time": detection_time,
+        },
+    )
+    return ScenarioRunner().run_steady(spec)
+
+
+def run_churn_steady(
+    config: SystemConfig,
+    throughput: float,
+    churn_rate: float,
+    mean_downtime: float,
+    detection_time: float = 10.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency under Poisson crash-recovery churn.
+
+    Crashes arrive at ``churn_rate`` per second; each takes a uniformly
+    random up process down for an exponential downtime of mean
+    ``mean_downtime`` ms.  Recovered processes rejoin (view change + state
+    transfer under GM, decision catch-up under FD) and the churn generator
+    never takes down more than ``f < n/2`` processes at once.
+    """
+    window = _arrival_window(num_messages, warmup_fraction, throughput)
+    churn_until = 1.5 * window + 10_000.0
+    spec = SteadyStateSpec(
+        scenario="churn-steady",
+        config=replace(config, fd=QoSConfig(detection_time=detection_time)),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=FaultSchedule(
+            [PoissonChurn(rate=churn_rate, mean_downtime=mean_downtime, until=churn_until)]
+        ),
+        senders=list(range(config.n)),
+        reassign_crashed_senders=True,
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "churn_rate": churn_rate,
+            "mean_downtime": mean_downtime,
+            "detection_time": detection_time,
+        },
+    )
+    return ScenarioRunner().run_steady(spec)
+
+
+def run_asymmetric_qos(
+    config: SystemConfig,
+    throughput: float,
+    mistake_recurrence_time: float,
+    mistake_duration: float = 0.0,
+    flaky_monitor: int = 1,
+    flaky_target: int = 0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency with one flaky failure detector pair.
+
+    Only the ordered pair ``(flaky_monitor observes flaky_target)`` makes
+    mistakes, with the given ``T_MR`` / ``T_M`` means; every other pair is
+    perfect.  The default pair is "p1 wrongly suspects the coordinator /
+    sequencer p0", the most damaging single bad link for both algorithms.
+    """
+    if flaky_monitor == flaky_target:
+        raise ValueError("the flaky observer pair needs two distinct processes")
+    for pid in (flaky_monitor, flaky_target):
+        if not 0 <= pid < config.n:
+            raise ValueError(f"flaky pair process {pid} out of range 0..{config.n - 1}")
+    if not math.isfinite(mistake_recurrence_time):
+        raise ValueError("asymmetric-qos needs a finite mistake_recurrence_time")
+    fd = QoSConfig().with_pair(
+        flaky_monitor,
+        flaky_target,
+        mistake_recurrence_time=mistake_recurrence_time,
+        mistake_duration=mistake_duration,
+    )
+    spec = SteadyStateSpec(
+        scenario="asymmetric-qos",
+        config=replace(config, fd=fd),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "mistake_recurrence_time": mistake_recurrence_time,
+            "mistake_duration": mistake_duration,
+            "flaky_monitor": flaky_monitor,
+            "flaky_target": flaky_target,
+        },
+    )
+    return ScenarioRunner().run_steady(spec)

@@ -1,0 +1,338 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a list of timed fault events -- crashes,
+recoveries, correlated crash groups, forced wrong-suspicion windows and
+Poisson crash-recovery churn generators -- that is *compiled onto* a
+:class:`repro.system.BroadcastSystem` before a run.  The scenario drivers
+stop hand-coding their fault logic: every scenario (the paper's four and the
+beyond-paper ones) is "a workload plus a fault schedule", executed by the
+:class:`repro.scenarios.runner.ScenarioRunner`.
+
+Two kinds of events exist:
+
+* **pre-run events** (``CrashAt`` with ``time <= 0``) are applied
+  synchronously before the simulation starts, reproducing the crash-steady
+  convention where crashes happened long before the measured window;
+* **timed events** are scheduled on the simulation kernel and fire during
+  the run.
+
+Generators (:class:`PoissonChurn`) expand deterministically into concrete
+crash/recovery pairs using the system's named random streams, so a churn
+schedule is a pure function of the system seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import RandomStreams
+
+
+class FaultEvent:
+    """Base class of all fault-schedule events (marker only)."""
+
+
+@dataclass(frozen=True)
+class CrashAt(FaultEvent):
+    """Crash ``pid`` at ``time``.
+
+    With ``time <= 0`` the crash is applied before the simulation starts;
+    ``permanent_suspicion`` additionally makes every failure detector suspect
+    the process from the very beginning (the crash-steady convention, where
+    crashes happened long before the measured window and all detection has
+    completed).
+    """
+
+    time: float
+    pid: int
+    permanent_suspicion: bool = False
+
+
+@dataclass(frozen=True)
+class RecoverAt(FaultEvent):
+    """Recover ``pid`` at ``time`` (it rejoins and catches up via protocol)."""
+
+    time: float
+    pid: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"recoveries cannot predate the run, got time={self.time}")
+
+
+@dataclass(frozen=True)
+class CorrelatedCrash(FaultEvent):
+    """Crash every process in ``pids`` at the same instant ``time``.
+
+    The paper only ever crashes one process at a time; a correlated group
+    models a shared-fate fault (rack power loss, correlated software bug).
+    """
+
+    time: float
+    pids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pids:
+            raise ValueError("a correlated crash needs at least one process")
+        if len(set(self.pids)) != len(self.pids):
+            raise ValueError(f"duplicate pids in correlated crash group: {self.pids}")
+
+
+@dataclass(frozen=True)
+class SuspectDuring(FaultEvent):
+    """Force a wrong suspicion of ``target`` during ``[start, start + duration]``.
+
+    ``monitors`` restricts which observers make the mistake (default: all) --
+    the deterministic complement of the random QoS mistake model, useful for
+    worst-case asymmetric suspicion scenarios.
+    """
+
+    start: float
+    duration: float
+    target: int
+    monitors: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class PoissonChurn(FaultEvent):
+    """Crash-recovery churn: a Poisson process of crashes, each with a downtime.
+
+    Crash arrivals form a Poisson process of ``rate`` crashes/s over
+    ``[start, until]``; each crash picks a uniformly random up process and
+    keeps it down for an exponential downtime of mean ``mean_downtime`` ms.
+    The generator never takes down more than ``max_concurrent`` processes at
+    once (default: the ``f < n/2`` bound of the system), so a churn schedule
+    always keeps a correct majority -- crash arrivals that would violate the
+    bound are dropped.
+
+    Expansion is driven by the system's named random stream ``rng_name``:
+    the concrete crash/recovery timeline is a deterministic function of the
+    system seed.
+    """
+
+    rate: float
+    mean_downtime: float
+    until: float
+    start: float = 0.0
+    max_concurrent: Optional[int] = None
+    rng_name: str = "churn"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"churn rate must be > 0 crashes/s, got {self.rate}")
+        if self.mean_downtime <= 0:
+            raise ValueError(f"mean_downtime must be > 0 ms, got {self.mean_downtime}")
+        if self.until <= self.start:
+            raise ValueError("the churn window must have positive length")
+
+    def expand(
+        self, system, external_downtime: Sequence[Tuple[float, float, int]] = ()
+    ) -> List[FaultEvent]:
+        """Generate the concrete crash/recovery events for ``system``.
+
+        The draws come from a *fresh* stream factory seeded with the system
+        seed (same derivation as ``system.rng``, independent state), so the
+        expansion is a pure function of the seed: validating a schedule with
+        :meth:`FaultSchedule.max_concurrent_crashes` and then applying it
+        operates on the identical timeline.
+
+        ``external_downtime`` lists ``(start, end, pid)`` windows during
+        which other events of the same schedule keep ``pid`` down:
+        :meth:`FaultSchedule.timeline` passes them so that churn neither
+        re-crashes/revives a process another event controls nor exceeds the
+        concurrency bound together with those events.
+        """
+        rng = RandomStreams(system.config.seed).stream(self.rng_name)
+        n = system.config.n
+        limit = (
+            self.max_concurrent
+            if self.max_concurrent is not None
+            else system.config.max_tolerated_crashes()
+        )
+        events: List[FaultEvent] = []
+        down: List[Tuple[float, int]] = []  # (recovery_time, pid), kept sorted
+        time = self.start
+        while True:
+            time += rng.expovariate(self.rate / 1000.0)
+            if time >= self.until:
+                break
+            down = [(recovery, pid) for recovery, pid in down if recovery > time]
+            # Reserve every external window that has not ended yet (active
+            # *or* upcoming): a churn downtime drawn now may still be open
+            # when a future static crash fires, so only the slots left after
+            # all outstanding windows are safe to churn.
+            reserved = {pid for _start, end, pid in external_downtime if end > time}
+            if len(down) + len(reserved) >= limit:
+                continue  # the f < n/2 bound is tight right now: skip this crash
+            busy = {pid for _recovery, pid in down} | reserved
+            up = sorted(set(range(n)) - busy)
+            if not up:
+                continue
+            pid = rng.choice(up)
+            downtime = rng.expovariate(1.0 / self.mean_downtime)
+            events.append(CrashAt(time, pid))
+            events.append(RecoverAt(time + downtime, pid))
+            down.append((time + downtime, pid))
+        return events
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events compiled onto one system."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ building
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append ``event`` (chainable)."""
+        self.events.append(event)
+        return self
+
+    def crash(self, time: float, pid: int) -> "FaultSchedule":
+        """Append a :class:`CrashAt` (chainable)."""
+        return self.add(CrashAt(time, pid))
+
+    def recover(self, time: float, pid: int) -> "FaultSchedule":
+        """Append a :class:`RecoverAt` (chainable)."""
+        return self.add(RecoverAt(time, pid))
+
+    @staticmethod
+    def pre_crashed(pids: Sequence[int]) -> "FaultSchedule":
+        """The crash-steady schedule: ``pids`` down and suspected from t = 0."""
+        return FaultSchedule(
+            [CrashAt(0.0, pid, permanent_suspicion=True) for pid in pids]
+        )
+
+    # ------------------------------------------------------------------ queries
+
+    def pre_run_events(self) -> List[CrashAt]:
+        """The events applied synchronously before the simulation starts."""
+        return [
+            event
+            for event in self.events
+            if isinstance(event, CrashAt) and event.time <= 0.0
+        ]
+
+    def timeline(self, system=None) -> List[FaultEvent]:
+        """Concrete timed events in declaration order (generators expanded).
+
+        Expanding a :class:`PoissonChurn` requires ``system`` (its random
+        streams drive the generator); without one, generators are returned
+        unexpanded.  The generators see the downtime windows of the
+        schedule's explicit events, so churn composes with static crashes
+        without touching their processes or breaching the concurrency bound.
+        """
+        concrete: List[FaultEvent] = []
+        static_windows = self._static_downtime()
+        for event in self.events:
+            if isinstance(event, PoissonChurn):
+                concrete.extend(
+                    event.expand(system, external_downtime=static_windows)
+                    if system is not None
+                    else [event]
+                )
+            elif not (isinstance(event, CrashAt) and event.time <= 0.0):
+                concrete.append(event)
+        return concrete
+
+    def _static_downtime(self) -> List[Tuple[float, float, int]]:
+        """Downtime windows ``(start, end, pid)`` of the explicit events.
+
+        A crash without a matching later recovery keeps its process down
+        forever.  Pre-run crashes count from time zero.
+        """
+        recoveries: Dict[int, List[float]] = {}
+        for event in self.events:
+            if isinstance(event, RecoverAt):
+                recoveries.setdefault(event.pid, []).append(event.time)
+        windows: List[Tuple[float, float, int]] = []
+
+        def close(start: float, pid: int) -> None:
+            later = sorted(t for t in recoveries.get(pid, []) if t >= start)
+            windows.append((start, later[0] if later else float("inf"), pid))
+
+        for event in self.events:
+            if isinstance(event, CrashAt):
+                close(max(event.time, 0.0), event.pid)
+            elif isinstance(event, CorrelatedCrash):
+                for pid in event.pids:
+                    close(event.time, pid)
+        return windows
+
+    def max_concurrent_crashes(self, system=None) -> int:
+        """Largest number of processes simultaneously down under this schedule.
+
+        Used to validate the ``f < n/2`` bound: scenario drivers refuse
+        schedules that ever take a majority down.  Schedules containing
+        generators (:class:`PoissonChurn`) need ``system`` to expand them;
+        validating one without a system would silently undercount, so it is
+        an error.
+        """
+        if system is None and any(
+            isinstance(event, PoissonChurn) for event in self.events
+        ):
+            raise ValueError(
+                "validating a schedule with churn generators requires the system "
+                "whose random streams expand them"
+            )
+        deltas: List[Tuple[float, int]] = [(0.0, 1) for _ in self.pre_run_events()]
+        for event in self.timeline(system):
+            if isinstance(event, CrashAt):
+                deltas.append((event.time, 1))
+            elif isinstance(event, CorrelatedCrash):
+                deltas.append((event.time, len(event.pids)))
+            elif isinstance(event, RecoverAt):
+                deltas.append((event.time, -1))
+        worst = current = 0
+        # Recoveries at the same instant as crashes are counted first: a
+        # process that recovers at t frees its slot for a crash at t.
+        for _time, delta in sorted(deltas, key=lambda d: (d[0], d[1])):
+            current += delta
+            worst = max(worst, current)
+        return worst
+
+    # ------------------------------------------------------------------ compilation
+
+    def apply_pre(self, system) -> None:
+        """Apply the pre-run crashes synchronously (before the run starts)."""
+        for event in self.pre_run_events():
+            system.crash(event.pid)
+            if event.permanent_suspicion:
+                system.fd_fabric.suspect_permanently(event.pid)
+
+    def schedule(self, system) -> None:
+        """Schedule every timed event on the system's simulation kernel."""
+        for event in self.timeline(system):
+            if isinstance(event, CrashAt):
+                system.crash_at(event.time, event.pid)
+                if event.permanent_suspicion:
+                    system.sim.schedule_at(
+                        event.time, system.fd_fabric.suspect_permanently, event.pid
+                    )
+            elif isinstance(event, RecoverAt):
+                system.recover_at(event.time, event.pid)
+            elif isinstance(event, CorrelatedCrash):
+                for pid in event.pids:
+                    system.crash_at(event.time, pid)
+            elif isinstance(event, SuspectDuring):
+                system.fd_fabric.suspect_during(
+                    event.target,
+                    event.start,
+                    event.duration,
+                    monitors=event.monitors,
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot schedule fault event {event!r}")
+
+    def apply(self, system) -> None:
+        """Compile the whole schedule onto ``system`` (pre events + timed)."""
+        self.apply_pre(system)
+        self.schedule(system)

@@ -1,4 +1,4 @@
-"""Steady-state benchmark scenarios.
+"""Steady-state benchmark scenarios of the paper.
 
 Three of the paper's four scenarios measure the latency of atomic broadcast
 in steady state, under a Poisson workload of aggregate throughput ``T``:
@@ -10,103 +10,38 @@ in steady state, under a Poisson workload of aggregate throughput ``T``:
   suspect correct processes, with mistake recurrence time ``T_MR`` and
   mistake duration ``T_M`` (Figs. 6 and 7).
 
-Every run measures ``num_messages`` messages after a warm-up period and
-reports the latency of each (time from A-broadcast to the earliest
-A-delivery).
+Each function is a thin spec over the shared
+:class:`repro.scenarios.runner.ScenarioRunner`: it pins the failure detector
+QoS and the fault schedule and delegates workload scheduling, warm-up,
+measurement and stop conditions to the runner.  The beyond-paper scenarios
+live in :mod:`repro.scenarios.extended`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import replace
-from typing import Optional, Sequence, Set
+from typing import Optional, Sequence
 
-from repro.core.types import BroadcastID
 from repro.failure_detectors.qos import QoSConfig
-from repro.metrics.latency import LatencyRecorder
-from repro.metrics.stats import interarrival_from_throughput
+from repro.scenarios.faults import FaultSchedule
+from repro.scenarios.runner import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MESSAGES,
+    DEFAULT_WARMUP_FRACTION,
+    ScenarioRunner,
+    SteadyStateSpec,
+)
 from repro.scenarios.results import ScenarioResult
-from repro.system import SystemConfig, build_system
-from repro.workload.generator import PoissonWorkload
+from repro.system import SystemConfig
 
-#: Default number of measured messages per point.
-DEFAULT_MESSAGES = 400
-#: Default fraction of extra messages used to warm the system up.
-DEFAULT_WARMUP_FRACTION = 0.2
-#: Hard cap on simulated events, to bound runs where the algorithm thrashes.
-DEFAULT_MAX_EVENTS = 4_000_000
-
-
-def _run_steady(
-    scenario: str,
-    config: SystemConfig,
-    throughput: float,
-    num_messages: int,
-    warmup_fraction: float,
-    crashed: Sequence[int],
-    max_time: Optional[float],
-    max_events: int,
-    params: dict,
-) -> ScenarioResult:
-    """Common driver of the three steady-state scenarios."""
-    system = build_system(config)
-    for pid in crashed:
-        system.crash(pid)
-        system.fd_fabric.suspect_permanently(pid)
-
-    recorder = LatencyRecorder()
-    recorder.attach(system)
-
-    senders = system.correct_processes()
-    workload = PoissonWorkload(system, throughput, senders=senders)
-
-    warmup_count = int(math.ceil(num_messages * warmup_fraction))
-    total = warmup_count + num_messages
-    measured_ids: Set[BroadcastID] = set()
-    outstanding = {"count": num_messages, "all_sent": False}
-
-    def on_sent(index: int, broadcast_id: BroadcastID, _time: float) -> None:
-        if index >= warmup_count:
-            measured_ids.add(broadcast_id)
-            if recorder.is_delivered(broadcast_id):
-                outstanding["count"] -= 1
-        if index == total - 1:
-            outstanding["all_sent"] = True
-        _maybe_stop()
-
-    def on_delivery(_pid: int, broadcast_id: BroadcastID, _payload) -> None:
-        if broadcast_id in measured_ids and recorder.delivery_count(broadcast_id) == 1:
-            outstanding["count"] -= 1
-            _maybe_stop()
-
-    def _maybe_stop() -> None:
-        if outstanding["all_sent"] and outstanding["count"] <= 0:
-            system.sim.stop()
-
-    workload.add_sent_callback(on_sent)
-    system.add_delivery_listener(on_delivery)
-
-    last_arrival = workload.schedule_messages(total, start_time=0.0)
-    if max_time is None:
-        # Allow generous slack beyond the arrival window before giving up.
-        max_time = last_arrival + max(20_000.0, 20 * interarrival_from_throughput(throughput))
-
-    system.run(until=max_time, max_events=max_events)
-
-    latencies = list(recorder.latencies(measured_ids).values())
-    result = ScenarioResult(
-        scenario=scenario,
-        algorithm=config.algorithm,
-        n=config.n,
-        throughput=throughput,
-        latencies=latencies,
-        undelivered=len(measured_ids) - len(latencies) + (num_messages - len(measured_ids)),
-        measured=num_messages,
-        duration=system.sim.now,
-        events=system.sim.events_processed,
-        params=dict(params),
-    )
-    return result
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_MESSAGES",
+    "DEFAULT_WARMUP_FRACTION",
+    "run_crash_steady",
+    "run_normal_steady",
+    "run_suspicion_steady",
+]
 
 
 def run_normal_steady(
@@ -118,18 +53,16 @@ def run_normal_steady(
     max_events: int = DEFAULT_MAX_EVENTS,
 ) -> ScenarioResult:
     """Latency in runs with neither crashes nor suspicions (Fig. 4)."""
-    config = replace(config, fd=QoSConfig())
-    return _run_steady(
-        "normal-steady",
-        config,
-        throughput,
-        num_messages,
-        warmup_fraction,
-        crashed=(),
+    spec = SteadyStateSpec(
+        scenario="normal-steady",
+        config=replace(config, fd=QoSConfig()),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
         max_time=max_time,
         max_events=max_events,
-        params={},
     )
+    return ScenarioRunner().run_steady(spec)
 
 
 def run_crash_steady(
@@ -152,18 +85,18 @@ def run_crash_steady(
         raise ValueError(
             f"{len(crashed)} crashes exceed the f < n/2 bound for n={config.n}"
         )
-    config = replace(config, fd=QoSConfig())
-    return _run_steady(
-        "crash-steady",
-        config,
-        throughput,
-        num_messages,
-        warmup_fraction,
-        crashed=crashed,
+    spec = SteadyStateSpec(
+        scenario="crash-steady",
+        config=replace(config, fd=QoSConfig()),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=FaultSchedule.pre_crashed(crashed),
         max_time=max_time,
         max_events=max_events,
         params={"crashed": crashed},
     )
+    return ScenarioRunner().run_steady(spec)
 
 
 def run_suspicion_steady(
@@ -187,14 +120,12 @@ def run_suspicion_steady(
         mistake_recurrence_time=mistake_recurrence_time,
         mistake_duration=mistake_duration,
     )
-    config = replace(config, fd=fd)
-    return _run_steady(
-        "suspicion-steady",
-        config,
-        throughput,
-        num_messages,
-        warmup_fraction,
-        crashed=(),
+    spec = SteadyStateSpec(
+        scenario="suspicion-steady",
+        config=replace(config, fd=fd),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
         max_time=max_time,
         max_events=max_events,
         params={
@@ -202,3 +133,4 @@ def run_suspicion_steady(
             "mistake_duration": mistake_duration,
         },
     )
+    return ScenarioRunner().run_steady(spec)

@@ -12,18 +12,24 @@ sweep all of them.
 
 Because no atomic broadcast can finish before the crash is detected, the
 paper plots the latency *overhead*: latency minus the detection time ``T_D``.
+
+Each independent execution is a :class:`repro.scenarios.runner.ProbeSpec`
+(background workload, a one-event fault schedule crashing ``p`` at ``t`` and
+a tagged probe from ``q`` at the same instant) run by the shared
+:class:`repro.scenarios.runner.ScenarioRunner`.
 """
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.failure_detectors.qos import QoSConfig
-from repro.metrics.latency import LatencyRecorder
+from repro.scenarios.faults import CrashAt, FaultSchedule
 from repro.scenarios.results import TransientResult
-from repro.system import SystemConfig, build_system
-from repro.workload.generator import PoissonWorkload
+from repro.scenarios.runner import ProbeSpec, ScenarioRunner
+from repro.system import SystemConfig
 
 #: Default number of independent runs per (p, q, T_D, T) point.
 DEFAULT_RUNS = 20
@@ -57,20 +63,21 @@ def run_crash_transient(
 
     fd = QoSConfig(detection_time=detection_time)
     base_config = replace(config, fd=fd)
+    runner = ScenarioRunner()
 
     latencies: List[float] = []
     failed = 0
     for run in range(num_runs):
-        run_config = base_config.with_seed(base_config.seed + 1000 * (run + 1))
-        latency = _single_transient_run(
-            run_config,
-            throughput,
-            crashed_process,
-            sender,
-            crash_time,
-            max_wait,
-            max_events,
+        spec = ProbeSpec(
+            config=base_config.with_seed(base_config.seed + 1000 * (run + 1)),
+            throughput=throughput,
+            probe_sender=sender,
+            probe_time=crash_time,
+            faults=FaultSchedule([CrashAt(crash_time, crashed_process)]),
+            max_wait=max_wait,
+            max_events=max_events,
         )
+        latency = runner.run_probe(spec)
         if latency is None:
             failed += 1
         else:
@@ -89,48 +96,6 @@ def run_crash_transient(
     )
 
 
-def _single_transient_run(
-    config: SystemConfig,
-    throughput: float,
-    crashed_process: int,
-    sender: int,
-    crash_time: float,
-    max_wait: float,
-    max_events: int,
-) -> Optional[float]:
-    """One independent execution; returns the tagged message latency or ``None``."""
-    system = build_system(config)
-    recorder = LatencyRecorder()
-    recorder.attach(system)
-
-    # Background traffic before and after the crash, from every process (the
-    # crashed sender's post-crash messages are dropped by the network, which
-    # matches "crashed processes do not send any further messages").
-    workload = PoissonWorkload(system, throughput, senders=list(range(config.n)))
-    horizon = crash_time + max_wait
-    background_count = int(throughput * horizon / 1000.0) + 1
-    workload.schedule_messages(background_count, start_time=0.0)
-
-    tagged = {}
-
-    def crash_and_tag() -> None:
-        system.crash(crashed_process)
-        tagged["id"] = system.broadcast(sender, "tagged-transient-message")
-
-    def on_delivery(_pid, broadcast_id, _payload) -> None:
-        if tagged.get("id") == broadcast_id:
-            system.sim.stop()
-
-    system.add_delivery_listener(on_delivery)
-    system.sim.schedule_at(crash_time, crash_and_tag)
-    system.run(until=horizon, max_events=max_events)
-
-    tagged_id = tagged.get("id")
-    if tagged_id is None:
-        return None
-    return recorder.latency(tagged_id)
-
-
 def sweep_crash_transient(
     config: SystemConfig,
     throughput: float,
@@ -138,13 +103,35 @@ def sweep_crash_transient(
     crashed_processes: Optional[Sequence[int]] = None,
     senders: Optional[Sequence[int]] = None,
     num_runs: int = DEFAULT_RUNS,
+    store=None,
+    jobs: int = 1,
     **kwargs,
 ) -> List[TransientResult]:
-    """Measure L(p, q) for several (p, q) pairs (worst case = max of the means)."""
+    """Measure L(p, q) for several (p, q) pairs (worst case = max of the means).
+
+    Every ``(p, q)`` pair runs with its own seed derived from
+    ``config.seed`` and the pair identity, so the pairs are independent
+    replicas rather than re-reading the same random streams.  With a
+    ``store`` (a :class:`repro.campaigns.store.ResultStore`), the sweep runs
+    through the campaign subsystem: completed pairs are cached and a
+    re-run only simulates what is missing; ``jobs`` fans the pending pairs
+    out over worker processes.
+    """
+    # Imported lazily: repro.campaigns imports the scenario drivers.
+    from repro.campaigns.runner import CampaignRunner, execute_point
+    from repro.campaigns.records import record_to_result
+    from repro.campaigns.spec import PointSpec, derive_seed
+
     crashed_processes = (
         list(crashed_processes) if crashed_processes is not None else [0]
     )
-    results: List[TransientResult] = []
+    if kwargs and (store is not None or jobs != 1):
+        raise ValueError(
+            "store-backed or parallel sweeps only support the fields a "
+            f"PointSpec carries; got extra keyword arguments {sorted(kwargs)}"
+        )
+
+    pairs: List[tuple] = []
     for crashed in crashed_processes:
         candidate_senders = (
             [s for s in senders if s != crashed]
@@ -152,9 +139,17 @@ def sweep_crash_transient(
             else [pid for pid in range(config.n) if pid != crashed]
         )
         for sender in candidate_senders:
+            pairs.append((crashed, sender))
+
+    results: List[TransientResult] = []
+    if store is None and kwargs:
+        # Legacy direct path for options (crash_time, max_wait, ...) that a
+        # PointSpec does not carry.
+        for crashed, sender in pairs:
+            seed = derive_seed(config.seed, f"transient/p{crashed}/q{sender}")
             results.append(
                 run_crash_transient(
-                    config,
+                    config.with_seed(seed),
                     throughput,
                     detection_time,
                     crashed_process=crashed,
@@ -163,4 +158,50 @@ def sweep_crash_transient(
                     **kwargs,
                 )
             )
-    return results
+        return results
+
+    # Carry every non-default SystemConfig field into the points, so a sweep
+    # over a customised system (lambda_cpu, pipeline_depth, ...) simulates
+    # that system and not the defaults.  ``fd`` is excluded: the transient
+    # driver replaces it with the point's detection time anyway; the other
+    # exclusions are first-class PointSpec fields.
+    defaults = SystemConfig(n=config.n, algorithm=config.algorithm, seed=config.seed)
+    overrides = tuple(
+        (field.name, getattr(config, field.name))
+        for field in dataclass_fields(SystemConfig)
+        if field.name not in ("n", "algorithm", "seed", "fd")
+        and getattr(config, field.name) != getattr(defaults, field.name)
+    )
+    points = [
+        PointSpec(
+            kind="crash-transient",
+            algorithm=config.algorithm,
+            n=config.n,
+            seed=derive_seed(config.seed, f"transient/p{crashed}/q{sender}"),
+            throughput=throughput,
+            num_runs=num_runs,
+            detection_time=detection_time,
+            crashed_process=crashed,
+            sender=sender,
+            config_overrides=overrides,
+        )
+        for crashed, sender in pairs
+    ]
+    if store is None and jobs == 1:
+        return [record_to_result(execute_point(point)) for point in points]
+    from repro.campaigns.spec import CampaignSpec, SeriesPointSpec, SeriesSpec
+
+    campaign = CampaignSpec(
+        name="crash-transient-sweep",
+        series=[
+            SeriesSpec(
+                label=f"{config.algorithm}, n={config.n}",
+                points=[
+                    SeriesPointSpec(x=float(index), points=[point])
+                    for index, point in enumerate(points)
+                ],
+            )
+        ],
+    )
+    run = CampaignRunner(jobs=jobs, store=store).run(campaign)
+    return [run.result(point) for point in points]

@@ -30,6 +30,7 @@ from repro.sim.resources import FIFOResource
 
 DeliverCallback = Callable[[int, Message], None]
 CrashListener = Callable[[int, float], None]
+RecoveryListener = Callable[[int, float], None]
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,7 @@ class Network:
         self._crashed: Set[int] = set()
         self._crash_times: Dict[int, float] = {}
         self._crash_listeners: List[CrashListener] = []
+        self._recovery_listeners: List[RecoveryListener] = []
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------ wiring
@@ -113,6 +115,10 @@ class Network:
     def add_crash_listener(self, listener: CrashListener) -> None:
         """Register a callback invoked as ``listener(pid, time)`` on crashes."""
         self._crash_listeners.append(listener)
+
+    def add_recovery_listener(self, listener: RecoveryListener) -> None:
+        """Register a callback invoked as ``listener(pid, time)`` on recoveries."""
+        self._recovery_listeners.append(listener)
 
     def cpu(self, pid: int) -> FIFOResource:
         """The CPU resource of process ``pid`` (useful for tests and stats)."""
@@ -139,6 +145,21 @@ class Network:
         self._crashed.add(pid)
         self._crash_times[pid] = self._sim.now
         for listener in list(self._crash_listeners):
+            listener(pid, self._sim.now)
+
+    def recover(self, pid: int) -> None:
+        """Bring a crashed process back up at the current simulation time.
+
+        Idempotent.  The recovered process sends and receives again from this
+        instant on; messages dropped while it was down stay lost (the protocol
+        layers are responsible for any catch-up / state transfer).  The crash
+        time of the last crash is kept for inspection.
+        """
+        self._check_pid(pid)
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        for listener in list(self._recovery_listeners):
             listener(pid, self._sim.now)
 
     def is_crashed(self, pid: int) -> bool:

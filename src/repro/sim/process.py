@@ -78,6 +78,9 @@ class Component:
     def on_crash(self) -> None:
         """Hook called when the hosting process crashes."""
 
+    def on_recover(self) -> None:
+        """Hook called when the hosting process recovers from a crash."""
+
 
 class SimProcess:
     """A process of the distributed system under simulation."""
@@ -173,6 +176,20 @@ class SimProcess:
         self._timers.clear()
         for component in self._components.values():
             component.on_crash()
+
+    def recover(self) -> None:
+        """Recover the process now (idempotent; no-op if it never crashed).
+
+        All protocol state survives the crash (warm restart); components that
+        need to reconcile with the rest of the system do so in their
+        ``on_recover`` hook (catch-up requests, rejoin protocol, ...).
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.network.recover(self.pid)
+        for component in self._components.values():
+            component.on_recover()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "crashed" if self._crashed else "up"

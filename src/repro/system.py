@@ -204,6 +204,21 @@ class BroadcastSystem:
         """Schedule the crash of ``pid`` at ``time``."""
         self.sim.schedule_at(time, self.processes[pid].crash)
 
+    def recover(self, pid: int) -> None:
+        """Recover process ``pid`` at the current simulation time.
+
+        The process comes back with its pre-crash protocol state and
+        reconciles with the group: under the FD algorithm it requests the
+        consensus decisions it missed from its peers; under the GM algorithms
+        it restarts the join protocol and is re-admitted through a view
+        change with a state transfer.
+        """
+        self.processes[pid].recover()
+
+    def recover_at(self, time: float, pid: int) -> None:
+        """Schedule the recovery of ``pid`` at ``time``."""
+        self.sim.schedule_at(time, self.processes[pid].recover)
+
     def correct_processes(self) -> List[int]:
         """Ids of processes that have not crashed."""
         return self.network.correct_processes()

@@ -40,11 +40,17 @@ class PoissonWorkload:
         senders: Optional[Sequence[int]] = None,
         rng_name: str = "workload",
         payload_factory: Optional[Callable[[int], Any]] = None,
+        reassign_crashed: bool = False,
     ) -> None:
         """Create a workload of ``throughput`` messages per second.
 
         ``senders`` defaults to every process of the system; crash-steady
-        experiments restrict it to the correct processes.
+        experiments restrict it to the correct processes.  With
+        ``reassign_crashed``, an arrival whose chosen sender is down at
+        emission time is redirected to the next live configured sender (in
+        pid order, wrapping around) -- scenarios whose fault schedule crashes
+        and recovers processes mid-run use this to keep "correct processes
+        send at the same rate" without disturbing the random streams.
         """
         if throughput <= 0:
             raise ValueError(f"throughput must be positive, got {throughput}")
@@ -55,6 +61,7 @@ class PoissonWorkload:
         )
         if not self.senders:
             raise ValueError("at least one sender is required")
+        self.reassign_crashed = reassign_crashed
         self._rng = system.rng.stream(rng_name)
         self._payload_factory = payload_factory or (lambda index: f"workload-{index}")
         self._sent_callbacks: List[SentCallback] = []
@@ -100,6 +107,8 @@ class PoissonWorkload:
     # ------------------------------------------------------------------ internals
 
     def _emit(self, index: int, sender: int) -> None:
+        if self.reassign_crashed and self.system.process(sender).crashed:
+            sender = self._live_sender(sender)
         payload = self._payload_factory(index)
         broadcast_id = self.system.broadcast(sender, payload)
         now = self.system.sim.now
@@ -107,3 +116,16 @@ class PoissonWorkload:
         self.sent.append(sent)
         for callback in list(self._sent_callbacks):
             callback(index, broadcast_id, now)
+
+    def _live_sender(self, sender: int) -> int:
+        """The next configured sender (pid order, wrapping) that is up.
+
+        Falls back to the original sender when every configured sender is
+        down -- impossible under the ``f < n/2`` bound the scenarios enforce.
+        """
+        position = self.senders.index(sender)
+        for offset in range(1, len(self.senders)):
+            candidate = self.senders[(position + offset) % len(self.senders)]
+            if not self.system.process(candidate).crashed:
+                return candidate
+        return sender

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro.campaigns`` ad-hoc grid CLI."""
 
+import pytest
+
 from repro.campaigns.__main__ import main
 
 
@@ -51,3 +53,80 @@ class TestCampaignsCLI:
         assert "(0 simulated, 1 from cache)" in second
         # identical point lines, only the header timing differs
         assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    @pytest.mark.parametrize(
+        "scenario_args",
+        [
+            ["--scenario", "churn-steady", "--churn-rate", "4", "--downtime", "100"],
+            ["--scenario", "correlated-crash", "--crashes", "1"],
+            ["--scenario", "asymmetric-qos", "--tmr", "300"],
+        ],
+        ids=["churn", "correlated", "asymmetric"],
+    )
+    def test_new_scenario_kinds_run_and_resume(self, scenario_args, tmp_path, capsys):
+        argv = scenario_args + [
+            "--algorithms",
+            "fd",
+            "gm",
+            "--n",
+            "3",
+            "--throughputs",
+            "25",
+            "--messages",
+            "10",
+            "--detection-time",
+            "5",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(2 simulated, 0 from cache)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 simulated, 2 from cache)" in second
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    def test_scenario_alias_resolves(self, capsys):
+        assert (
+            main(
+                [
+                    "--scenario",
+                    "churn",
+                    "--algorithms",
+                    "fd",
+                    "--n",
+                    "3",
+                    "--throughputs",
+                    "25",
+                    "--messages",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        assert "churn-steady" in capsys.readouterr().out
+
+    def test_experiments_cli_delegates_scenario_grids(self, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+
+        assert (
+            experiments_main(
+                [
+                    "--scenario",
+                    "asymmetric",
+                    "--algorithms",
+                    "fd",
+                    "--n",
+                    "3",
+                    "--throughputs",
+                    "25",
+                    "--messages",
+                    "10",
+                    "--tmr",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        assert "asymmetric-qos" in capsys.readouterr().out

@@ -56,6 +56,49 @@ class TestExecutePoint:
         assert records[1]["scenario"] == "crash-steady"
         assert records[2]["scenario"] == "suspicion-steady"
 
+    def test_dispatches_fault_schedule_kinds(self):
+        records = [
+            execute_point(
+                PointSpec(
+                    kind="correlated-crash",
+                    n=5,
+                    throughput=30.0,
+                    num_messages=10,
+                    crashed=(3, 4),
+                    detection_time=5.0,
+                )
+            ),
+            execute_point(
+                PointSpec(
+                    kind="churn-steady",
+                    throughput=30.0,
+                    num_messages=10,
+                    churn_rate=4.0,
+                    mean_downtime=100.0,
+                    detection_time=5.0,
+                )
+            ),
+            execute_point(
+                PointSpec(
+                    kind="asymmetric-qos",
+                    throughput=30.0,
+                    num_messages=10,
+                    mistake_recurrence_time=300.0,
+                )
+            ),
+        ]
+        assert [record["scenario"] for record in records] == [
+            "correlated-crash",
+            "churn-steady",
+            "asymmetric-qos",
+        ]
+
+    def test_transient_point_respects_explicit_sender(self):
+        record = execute_point(
+            PointSpec(kind="crash-transient", throughput=30.0, num_runs=1, sender=1)
+        )
+        assert record["sender"] == 1
+
 
 class TestCampaignRunner:
     def test_rejects_non_positive_jobs(self):
@@ -68,6 +111,21 @@ class TestCampaignRunner:
         parallel = CampaignRunner(jobs=2).run(campaign)
         assert serial.records == parallel.records
         assert serial.executed == parallel.executed == 2
+
+    def test_serial_and_parallel_identical_for_churn_points(self):
+        campaign = grid(
+            "churn-steady",
+            algorithms=("fd", "gm"),
+            n_values=(3,),
+            throughputs=(25.0,),
+            num_messages=10,
+            churn_rate=4.0,
+            mean_downtime=100.0,
+            detection_time=5.0,
+        )
+        serial = CampaignRunner(jobs=1).run(campaign)
+        parallel = CampaignRunner(jobs=2).run(campaign)
+        assert serial.records == parallel.records
 
     def test_warm_cache_reproduces_cold_run(self, tmp_path):
         campaign = tiny_campaign()

@@ -1,0 +1,128 @@
+"""Tests for the beyond-paper fault-schedule scenarios."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.scenarios.extended import (
+    run_asymmetric_qos,
+    run_churn_steady,
+    run_correlated_crash,
+)
+from repro.scenarios.steady import run_normal_steady
+
+
+def config(algorithm="fd", n=5, seed=11):
+    return SystemConfig(n=n, algorithm=algorithm, seed=seed)
+
+
+class TestCorrelatedCrash:
+    def test_measurement_spans_the_crash(self, algorithm):
+        result = run_correlated_crash(
+            config(algorithm), throughput=50, crashed=[3, 4], num_messages=60
+        )
+        assert result.scenario == "correlated-crash"
+        assert result.completed
+        assert result.params["crashed"] == (3, 4)
+        assert result.params["crash_time"] > 0
+
+    def test_crash_group_bound_enforced(self, algorithm):
+        with pytest.raises(ValueError):
+            run_correlated_crash(
+                config(algorithm), throughput=50, crashed=[2, 3, 4], num_messages=20
+            )
+        with pytest.raises(ValueError):
+            run_correlated_crash(config(algorithm), throughput=50, crashed=[])
+
+    def test_explicit_crash_time_is_used(self, algorithm):
+        result = run_correlated_crash(
+            config(algorithm),
+            throughput=50,
+            crashed=[4],
+            crash_time=123.0,
+            num_messages=30,
+        )
+        assert result.params["crash_time"] == 123.0
+        assert result.completed
+
+
+class TestChurnSteady:
+    def test_runs_to_completion_under_churn(self, algorithm):
+        result = run_churn_steady(
+            config(algorithm),
+            throughput=50,
+            churn_rate=2.0,
+            mean_downtime=150.0,
+            detection_time=10.0,
+            num_messages=60,
+        )
+        assert result.scenario == "churn-steady"
+        assert result.completed
+        assert result.params["churn_rate"] == 2.0
+
+    def test_churn_is_slower_than_fault_free(self, algorithm):
+        normal = run_normal_steady(config(algorithm), throughput=50, num_messages=60)
+        churned = run_churn_steady(
+            config(algorithm),
+            throughput=50,
+            churn_rate=5.0,
+            mean_downtime=300.0,
+            detection_time=10.0,
+            num_messages=60,
+        )
+        assert churned.mean_latency >= normal.mean_latency
+
+    def test_determinism_per_seed(self, algorithm):
+        kwargs = dict(
+            throughput=50,
+            churn_rate=2.0,
+            mean_downtime=150.0,
+            detection_time=10.0,
+            num_messages=40,
+        )
+        first = run_churn_steady(config(algorithm), **kwargs)
+        second = run_churn_steady(config(algorithm), **kwargs)
+        assert first.latencies == second.latencies
+        assert first.events == second.events
+
+
+class TestAsymmetricQoS:
+    def test_only_flaky_pair_degrades(self, algorithm):
+        result = run_asymmetric_qos(
+            config(algorithm),
+            throughput=50,
+            mistake_recurrence_time=200.0,
+            mistake_duration=10.0,
+            num_messages=60,
+        )
+        assert result.scenario == "asymmetric-qos"
+        assert result.completed
+        assert result.params["flaky_monitor"] == 1
+
+    def test_flaky_pair_must_be_distinct(self, algorithm):
+        with pytest.raises(ValueError):
+            run_asymmetric_qos(
+                config(algorithm),
+                throughput=50,
+                mistake_recurrence_time=200.0,
+                flaky_monitor=1,
+                flaky_target=1,
+            )
+
+    def test_gm_suffers_more_than_fd_from_a_flaky_observer(self):
+        fd = run_asymmetric_qos(
+            config("fd", n=3),
+            throughput=10,
+            mistake_recurrence_time=50.0,
+            mistake_duration=5.0,
+            num_messages=50,
+        )
+        gm = run_asymmetric_qos(
+            config("gm", n=3),
+            throughput=10,
+            mistake_recurrence_time=50.0,
+            mistake_duration=5.0,
+            num_messages=50,
+        )
+        # One flaky observer of the sequencer forces view changes under GM,
+        # while the FD algorithm only pays an occasional extra round.
+        assert gm.mean_latency > fd.mean_latency

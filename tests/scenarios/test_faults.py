@@ -1,0 +1,157 @@
+"""Tests for the declarative fault-schedule engine."""
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.scenarios.faults import (
+    CorrelatedCrash,
+    CrashAt,
+    FaultSchedule,
+    PoissonChurn,
+    RecoverAt,
+    SuspectDuring,
+)
+
+
+def make_system(n=3, algorithm="fd", seed=1, **overrides):
+    return build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides))
+
+
+class TestEventValidation:
+    def test_recovery_cannot_predate_the_run(self):
+        with pytest.raises(ValueError):
+            RecoverAt(-1.0, 0)
+
+    def test_correlated_crash_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CorrelatedCrash(10.0, (1, 1))
+
+    def test_correlated_crash_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            CorrelatedCrash(10.0, ())
+
+    def test_suspect_during_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            SuspectDuring(start=5.0, duration=-1.0, target=0)
+
+    def test_churn_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonChurn(rate=0.0, mean_downtime=10.0, until=100.0)
+        with pytest.raises(ValueError):
+            PoissonChurn(rate=1.0, mean_downtime=0.0, until=100.0)
+        with pytest.raises(ValueError):
+            PoissonChurn(rate=1.0, mean_downtime=10.0, until=0.0)
+
+
+class TestScheduleCompilation:
+    def test_pre_crashed_applies_before_the_run(self):
+        system = make_system()
+        FaultSchedule.pre_crashed([2]).apply(system)
+        assert system.network.is_crashed(2)
+        assert system.fd_fabric.detector(0).is_suspected(2)
+        assert system.correct_processes() == [0, 1]
+
+    def test_timed_crash_and_recovery_fire_in_order(self):
+        system = make_system()
+        FaultSchedule().crash(10.0, 1).recover(25.0, 1).apply(system)
+        assert not system.network.is_crashed(1)
+        system.run(until=15.0)
+        assert system.network.is_crashed(1)
+        system.run(until=30.0)
+        assert not system.network.is_crashed(1)
+
+    def test_correlated_crash_takes_the_group_down_at_once(self):
+        system = make_system(n=5)
+        FaultSchedule([CorrelatedCrash(12.0, (3, 4))]).apply(system)
+        system.run(until=12.0)
+        assert system.network.crashed_processes() == {3, 4}
+
+    def test_suspect_during_window(self):
+        system = make_system()
+        FaultSchedule([SuspectDuring(start=5.0, duration=10.0, target=2)]).apply(system)
+        system.run(until=6.0)
+        assert system.fd_fabric.detector(0).is_suspected(2)
+        assert system.fd_fabric.detector(1).is_suspected(2)
+        system.run(until=20.0)
+        assert not system.fd_fabric.detector(0).is_suspected(2)
+
+    def test_max_concurrent_crashes_accounts_for_recoveries(self):
+        schedule = (
+            FaultSchedule()
+            .crash(10.0, 0)
+            .recover(20.0, 0)
+            .crash(20.0, 1)
+            .recover(30.0, 1)
+        )
+        assert schedule.max_concurrent_crashes() == 1
+        overlapping = FaultSchedule().crash(10.0, 0).crash(15.0, 1).recover(40.0, 0)
+        assert overlapping.max_concurrent_crashes() == 2
+
+
+class TestPoissonChurn:
+    def test_expansion_is_deterministic_per_seed(self):
+        churn = PoissonChurn(rate=5.0, mean_downtime=100.0, until=5000.0)
+        events_a = churn.expand(make_system(seed=7))
+        events_b = churn.expand(make_system(seed=7))
+        events_c = churn.expand(make_system(seed=8))
+        assert events_a == events_b
+        assert events_a != events_c
+
+    def test_validate_then_apply_sees_the_same_timeline(self):
+        # Expansion is a pure function of the seed: repeated expansion on the
+        # SAME system (validation followed by compilation) must not consume
+        # shared random state and change the timeline.
+        system = make_system(seed=7)
+        churn = PoissonChurn(rate=5.0, mean_downtime=100.0, until=5000.0)
+        schedule = FaultSchedule([churn])
+        first = schedule.timeline(system)
+        worst = schedule.max_concurrent_crashes(system)
+        assert worst <= 1
+        assert schedule.timeline(system) == first
+
+    def test_expansion_pairs_crashes_with_recoveries(self):
+        churn = PoissonChurn(rate=5.0, mean_downtime=100.0, until=5000.0)
+        events = churn.expand(make_system(seed=3))
+        crashes = [e for e in events if isinstance(e, CrashAt)]
+        recoveries = [e for e in events if isinstance(e, RecoverAt)]
+        assert crashes, "a 5/s rate over 5 s should produce crashes"
+        assert len(crashes) == len(recoveries)
+
+    def test_expansion_respects_the_crash_bound(self):
+        for n in (3, 5, 7):
+            system = make_system(n=n, seed=13)
+            schedule = FaultSchedule(
+                [PoissonChurn(rate=50.0, mean_downtime=500.0, until=3000.0)]
+            )
+            worst = schedule.max_concurrent_crashes(system)
+            assert worst <= SystemConfig(n=n).max_tolerated_crashes()
+
+    def test_churn_respects_static_crash_windows(self):
+        # Compose churn with an explicit crash/recovery pair: the generator
+        # must neither touch the statically-crashed process during its
+        # window nor breach the concurrency bound together with it.
+        for seed in range(1, 8):
+            system = make_system(n=5, seed=seed)
+            schedule = (
+                FaultSchedule()
+                .crash(100.0, 4)
+                .recover(2000.0, 4)
+                .add(PoissonChurn(rate=20.0, mean_downtime=300.0, until=3000.0))
+            )
+            worst = schedule.max_concurrent_crashes(system)
+            assert worst <= SystemConfig(n=5).max_tolerated_crashes()
+            generated = schedule.events[-1].expand(
+                system, external_downtime=schedule._static_downtime()
+            )
+            for event in generated:
+                if isinstance(event, CrashAt):
+                    assert event.pid != 4 or not 100.0 <= event.time < 2000.0
+
+    def test_schedule_executes_churn_on_the_system(self):
+        system = make_system(n=5, seed=21)
+        FaultSchedule(
+            [PoissonChurn(rate=10.0, mean_downtime=50.0, until=2000.0)]
+        ).apply(system)
+        system.run(until=5000.0)
+        # Every churned process is back up by the end of the window.
+        assert system.correct_processes() == [0, 1, 2, 3, 4]

@@ -1,0 +1,103 @@
+"""Golden-value tests: the ScenarioRunner reproduces the legacy drivers.
+
+The values below were captured from the seed repository's hand-written
+scenario drivers (``scenarios/steady.py`` / ``scenarios/transient.py``
+before the fault-schedule refactor).  The refactored drivers must keep
+construction order, listener registration order and random-stream usage
+identical, so every number matches bit for bit.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import SystemConfig
+from repro.scenarios.steady import (
+    run_crash_steady,
+    run_normal_steady,
+    run_suspicion_steady,
+)
+from repro.scenarios.transient import run_crash_transient
+
+#: (mean latency, undelivered, duration, events, sha256 prefix of latencies).
+GOLDEN_STEADY = {
+    ("normal-steady", "fd"): (11.413199718013795, 0, 768.821849452246, 1460, "2b0063a941aa1017"),
+    ("normal-steady", "gm"): (11.413199718013795, 0, 768.821849452246, 1392, "2b0063a941aa1017"),
+    ("crash-steady", "fd"): (9.627147225463041, 0, 751.7707303878062, 1281, "08872b3cb8dbe753"),
+    ("crash-steady", "gm"): (9.627147225463041, 0, 751.7707303878062, 1030, "08872b3cb8dbe753"),
+    ("suspicion-steady", "fd"): (8.88605195060407, 0, 5188.85601135372, 1162, "9cce3be47913a585"),
+    ("suspicion-steady", "gm"): (12.393748769369768, 0, 5188.85601135372, 3574, "7107422ba56e637f"),
+}
+
+#: (latencies, failed runs, sender).
+GOLDEN_TRANSIENT = {
+    "fd": ([37.0, 25.0, 22.0], 0, 2),
+    "gm": ([25.0, 25.0, 25.0], 0, 2),
+}
+
+GOLDEN_CRASH_N7 = (15.858900609538008, 0, 365.12432269626055, 1581, "6d5bdcea3e40f72a")
+
+
+def latency_digest(latencies):
+    return hashlib.sha256(json.dumps(latencies).encode()).hexdigest()[:16]
+
+
+def observed(result):
+    return (
+        result.mean_latency,
+        result.undelivered,
+        result.duration,
+        result.events,
+        latency_digest(result.latencies),
+    )
+
+
+class TestGoldenSteady:
+    def test_normal_steady_matches_seed_driver(self, algorithm):
+        result = run_normal_steady(
+            SystemConfig(n=3, algorithm=algorithm, seed=31), throughput=100, num_messages=60
+        )
+        assert observed(result) == GOLDEN_STEADY[("normal-steady", algorithm)]
+
+    def test_crash_steady_matches_seed_driver(self, algorithm):
+        result = run_crash_steady(
+            SystemConfig(n=3, algorithm=algorithm, seed=31),
+            throughput=100,
+            crashed=[2],
+            num_messages=60,
+        )
+        assert observed(result) == GOLDEN_STEADY[("crash-steady", algorithm)]
+
+    def test_suspicion_steady_matches_seed_driver(self, algorithm):
+        result = run_suspicion_steady(
+            SystemConfig(n=3, algorithm=algorithm, seed=31),
+            throughput=10,
+            mistake_recurrence_time=500.0,
+            mistake_duration=5.0,
+            num_messages=40,
+        )
+        assert observed(result) == GOLDEN_STEADY[("suspicion-steady", algorithm)]
+
+    def test_crash_steady_n7_matches_seed_driver(self):
+        result = run_crash_steady(
+            SystemConfig(n=7, algorithm="fd", seed=7),
+            throughput=100,
+            crashed=[4, 5, 6],
+            num_messages=40,
+        )
+        assert observed(result) == GOLDEN_CRASH_N7
+
+
+class TestGoldenTransient:
+    def test_crash_transient_matches_seed_driver(self, algorithm):
+        result = run_crash_transient(
+            SystemConfig(n=3, algorithm=algorithm, seed=41),
+            throughput=50,
+            detection_time=10.0,
+            num_runs=3,
+        )
+        expected_latencies, expected_failed, expected_sender = GOLDEN_TRANSIENT[algorithm]
+        assert result.latencies == pytest.approx(expected_latencies)
+        assert result.failed_runs == expected_failed
+        assert result.sender == expected_sender

@@ -70,3 +70,68 @@ class TestCrashTransient:
         )
         assert len(results) == 2
         assert {result.sender for result in results} == {1, 2}
+
+    def test_sweep_pairs_use_independent_seeds(self):
+        results = sweep_crash_transient(
+            config("fd"),
+            throughput=200,
+            detection_time=10.0,
+            crashed_processes=[0, 1],
+            senders=[2],
+            num_runs=2,
+        )
+        # Different (p, q) pairs are independent replicas: under background
+        # load their latency samples should not be bitwise identical, which
+        # is what reusing one seed across pairs used to produce.
+        assert len(results) == 2
+        assert results[0].latencies != results[1].latencies
+
+    def test_sweep_routes_through_the_campaign_store(self, tmp_path):
+        from repro.campaigns.store import ResultStore
+
+        kwargs = dict(
+            throughput=50,
+            detection_time=0.0,
+            crashed_processes=[0],
+            senders=[1, 2],
+            num_runs=1,
+        )
+        store = ResultStore(str(tmp_path))
+        first = sweep_crash_transient(config("fd"), store=store, **kwargs)
+        # A second sweep over the same pairs is served from the cache and is
+        # bit-identical; so is a store-less sweep of the same grid.
+        second = sweep_crash_transient(config("fd"), store=store, **kwargs)
+        direct = sweep_crash_transient(config("fd"), **kwargs)
+        for a, b, c in zip(first, second, direct):
+            assert a.latencies == b.latencies == c.latencies
+            assert a.sender == b.sender == c.sender
+
+    def test_sweep_preserves_custom_config_fields(self):
+        from dataclasses import replace
+
+        base = config("fd")
+        slow = replace(base, lambda_cpu=5.0)
+        kwargs = dict(
+            throughput=200,
+            detection_time=10.0,
+            crashed_processes=[0],
+            senders=[2],
+            num_runs=2,
+        )
+        default_run = sweep_crash_transient(base, **kwargs)
+        slow_run = sweep_crash_transient(slow, **kwargs)
+        # A five-fold CPU cost must show up in the simulated latencies: the
+        # campaign points carry the non-default SystemConfig fields.
+        assert slow_run[0].latencies != default_run[0].latencies
+
+    def test_sweep_rejects_extra_kwargs_with_store(self, tmp_path):
+        from repro.campaigns.store import ResultStore
+
+        with pytest.raises(ValueError):
+            sweep_crash_transient(
+                config("fd"),
+                throughput=50,
+                detection_time=0.0,
+                store=ResultStore(str(tmp_path)),
+                crash_time=100.0,
+            )
