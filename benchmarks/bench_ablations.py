@@ -42,7 +42,7 @@ def test_lambda_sweep(run_once):
         for lambda_cpu in (0.5, 1.0, 2.0):
             series = Series(label=f"FD, n=3, lambda={lambda_cpu:g}")
             for throughput in (10, 100, 300):
-                config = SystemConfig(n=3, algorithm="fd", seed=1, lambda_cpu=lambda_cpu)
+                config = SystemConfig(n=3, stack="fd", seed=1, lambda_cpu=lambda_cpu)
                 series.add(
                     _point(throughput, run_normal_steady(config, throughput, num_messages=MESSAGES))
                 )
@@ -70,7 +70,7 @@ def test_pipeline_depth(run_once):
         for depth in (1, 2, 4):
             series = Series(label=f"FD, depth={depth}")
             for throughput in (100, 500):
-                config = SystemConfig(n=3, algorithm="fd", seed=1, pipeline_depth=depth)
+                config = SystemConfig(n=3, stack="fd", seed=1, pipeline_depth=depth)
                 series.add(
                     _point(throughput, run_normal_steady(config, throughput, num_messages=MESSAGES))
                 )
@@ -101,7 +101,7 @@ def test_coordinator_renumbering(run_once):
             series = Series(label=label)
             for throughput in (50, 200):
                 config = SystemConfig(
-                    n=3, algorithm="fd", seed=1, renumber_coordinators=renumber
+                    n=3, stack="fd", seed=1, renumber_coordinators=renumber
                 )
                 result = run_crash_steady(
                     config, throughput, crashed=[0], num_messages=MESSAGES
@@ -132,7 +132,7 @@ def test_uniform_vs_non_uniform_gm(run_once):
         for algorithm, label in (("gm", "GM (uniform)"), ("gm-nonuniform", "GM (non-uniform)")):
             series = Series(label=label)
             for throughput in (10, 100, 300):
-                config = SystemConfig(n=3, algorithm=algorithm, seed=1)
+                config = SystemConfig(n=3, stack=algorithm, seed=1)
                 series.add(
                     _point(throughput, run_normal_steady(config, throughput, num_messages=MESSAGES))
                 )

@@ -45,7 +45,7 @@ def scenario_grid() -> List[Tuple[str, Callable[[str], object]]]:
     """The fixed benchmark grid: one callable per scenario kind."""
 
     def cfg(algorithm: str, n: int = 3) -> SystemConfig:
-        return SystemConfig(n=n, algorithm=algorithm, seed=1)
+        return SystemConfig(n=n, stack=algorithm, seed=1)
 
     return [
         (

@@ -53,7 +53,7 @@ def test_end_to_end_broadcast_rate_fd(benchmark):
     """Order 300 messages end to end with the FD algorithm."""
 
     def run():
-        system = build_system(SystemConfig(n=3, algorithm="fd", seed=1))
+        system = build_system(SystemConfig(n=3, stack="fd", seed=1))
         system.start()
         for i in range(300):
             system.broadcast_at(1.0 + i * 2.0, i % 3, i)
@@ -68,7 +68,7 @@ def test_end_to_end_broadcast_rate_gm(benchmark):
     """Order 300 messages end to end with the GM algorithm."""
 
     def run():
-        system = build_system(SystemConfig(n=3, algorithm="gm", seed=1))
+        system = build_system(SystemConfig(n=3, stack="gm", seed=1))
         system.start()
         for i in range(300):
             system.broadcast_at(1.0 + i * 2.0, i % 3, i)

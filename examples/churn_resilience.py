@@ -47,7 +47,7 @@ def main() -> None:
         campaign = grid(
             "churn-steady",
             name=f"churn-{churn_rate:g}",
-            algorithms=("fd", "gm"),
+            stacks=("fd", "gm"),
             n_values=(3,),
             throughputs=(THROUGHPUT,),
             seeds=SEEDS,

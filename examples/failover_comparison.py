@@ -34,7 +34,7 @@ def main() -> None:
     print("-" * len(header))
     for detection_time in detection_times:
         for algorithm in ("fd", "gm"):
-            config = SystemConfig(n=3, algorithm=algorithm, seed=123)
+            config = SystemConfig(n=3, stack=algorithm, seed=123)
             result = run_crash_transient(
                 config,
                 throughput,

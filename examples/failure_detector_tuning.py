@@ -33,7 +33,7 @@ def sweep_mistake_rate() -> None:
     for tmr in (20.0, 100.0, 1000.0, 10000.0):
         cells = []
         for algorithm in ("fd", "gm"):
-            config = SystemConfig(n=3, algorithm=algorithm, seed=9)
+            config = SystemConfig(n=3, stack=algorithm, seed=9)
             result = run_suspicion_steady(
                 config,
                 throughput=10.0,

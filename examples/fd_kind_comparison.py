@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""QoS-modelled vs real heartbeat failure detection under faults.
+
+The paper abstracts failure detectors through QoS metrics; the stack
+registry makes the concrete, message-based heartbeat detector a drop-in
+``fd_kind`` on the same stacks.  This example sweeps the *same* fault
+schedules -- crash-recovery churn and a correlated mid-run crash -- once
+with the abstract QoS detector (``T_D`` pinned) and once with real
+heartbeats (detection emerges from period + timeout, and the heartbeat
+traffic loads the contention network), for both atomic broadcast stacks.
+The comparison was unreachable before the pluggable-stack redesign: the
+heartbeat fabric existed but no CLI, scenario or campaign could select it.
+
+Usage::
+
+    python examples/fd_kind_comparison.py
+"""
+
+from repro.campaigns import CampaignRunner, ResultStore, grid, merge_scenario_results
+
+#: Set to a directory path to make re-runs incremental (or None to disable).
+CACHE_DIR = None
+
+THROUGHPUT = 50.0  # workload, messages/s
+MESSAGES = 120  # measured messages per point
+SEEDS = (1, 2)  # replicas pooled per point
+DETECTION_TIME = 30.0  # T_D of the QoS detectors, ms (~ heartbeat period + timeout)
+
+
+def scenario_grids():
+    """The two fault schedules, each swept over stacks x fd kinds."""
+    common = dict(
+        stacks=("fd", "gm"),
+        fd_kinds=("qos", "heartbeat"),
+        n_values=(3,),
+        throughputs=(THROUGHPUT,),
+        seeds=SEEDS,
+        num_messages=MESSAGES,
+        detection_time=DETECTION_TIME,
+    )
+    yield "churn (2/s, 150 ms down)", grid(
+        "churn-steady",
+        name="fdkind-churn",
+        churn_rate=2.0,
+        mean_downtime=150.0,
+        **common,
+    )
+    yield "correlated crash (1 proc)", grid(
+        "correlated-crash",
+        name="fdkind-correlated",
+        crashes=1,
+        **common,
+    )
+
+
+def main() -> None:
+    store = ResultStore(CACHE_DIR) if CACHE_DIR else None
+    runner = CampaignRunner(jobs=1, store=store)
+
+    print(
+        f"failure detector kinds under faults (n = 3, T = {THROUGHPUT:g}/s, "
+        f"QoS T_D = {DETECTION_TIME:g} ms vs heartbeat 10 ms period / 30 ms timeout)"
+    )
+    for title, campaign in scenario_grids():
+        run = runner.run(campaign)
+        print()
+        print(title)
+        header = f"{'series':<22} | {'latency [ms]':>18} | {'undelivered':>11}"
+        print(header)
+        print("-" * len(header))
+        for series in campaign.series:
+            (series_point,) = series.points
+            merged = merge_scenario_results(
+                [run.result(point) for point in series_point.points]
+            )
+            summary = merged.summary()
+            cell = f"{summary.mean:8.2f} ± {summary.ci_halfwidth:5.2f}"
+            print(f"{series.label:<22} | {cell:>18} | {merged.undelivered:>11}")
+
+    print()
+    print("The heartbeat rows pay two visible costs the QoS model abstracts away:")
+    print("detection latency jitters with the heartbeat phase instead of being a")
+    print("constant T_D, and the n*(n-1) heartbeat streams compete with the workload")
+    print("for the network, which shows up as extra latency at higher throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: atomically broadcast a handful of messages and inspect the run.
 
-Builds a three-process system (choose the algorithm on the command line),
-A-broadcasts a few messages from different senders, then prints the delivery
-order observed by every process, the per-message latency and the traffic the
-contention-aware network model carried.
+Builds a three-process system (choose the protocol stack on the command
+line), A-broadcasts a few messages from different senders, then prints the
+delivery order observed by every process, the per-message latency and the
+traffic the contention-aware network model carried.
 
 Usage::
 
-    python examples/quickstart.py            # FD algorithm (Chandra-Toueg)
-    python examples/quickstart.py gm         # fixed sequencer + group membership
+    python examples/quickstart.py               # FD stack (Chandra-Toueg)
+    python examples/quickstart.py gm            # fixed sequencer + group membership
     python examples/quickstart.py gm-nonuniform
+    python examples/quickstart.py fd/heartbeat  # FD stack on a real heartbeat detector
 """
 
 import sys
@@ -21,7 +22,7 @@ from repro.metrics.latency import LatencyRecorder
 
 def main() -> None:
     algorithm = sys.argv[1] if len(sys.argv) > 1 else "fd"
-    config = SystemConfig(n=3, algorithm=algorithm, seed=42)
+    config = SystemConfig(n=3, stack=algorithm, seed=42)
     system = build_system(config)
 
     recorder = LatencyRecorder()

@@ -26,7 +26,7 @@ def main() -> None:
     algorithm = sys.argv[1] if len(sys.argv) > 1 else "gm"
     config = SystemConfig(
         n=5,
-        algorithm=algorithm,
+        stack=algorithm,
         seed=7,
         fd=QoSConfig(detection_time=20.0),
     )

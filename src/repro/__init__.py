@@ -21,7 +21,7 @@ Quickstart::
 
     from repro import SystemConfig, build_system
 
-    system = build_system(SystemConfig(n=3, algorithm="fd", seed=1))
+    system = build_system(SystemConfig(n=3, stack="fd", seed=1))
     system.start()
     system.broadcast(sender=0, payload="hello")
     system.run(until=100.0)
@@ -29,7 +29,15 @@ Quickstart::
 """
 
 from repro.core.types import AtomicBroadcast, BroadcastID, View
+from repro.failure_detectors.heartbeat import HeartbeatConfig
 from repro.failure_detectors.qos import QoSConfig
+from repro.stacks import (
+    StackSpec,
+    available_fd_kinds,
+    available_stacks,
+    register_fd_kind,
+    register_stack,
+)
 from repro.system import ALGORITHMS, BroadcastSystem, SystemConfig, build_system
 
 __version__ = "1.0.0"
@@ -39,9 +47,15 @@ __all__ = [
     "AtomicBroadcast",
     "BroadcastID",
     "BroadcastSystem",
+    "HeartbeatConfig",
     "QoSConfig",
+    "StackSpec",
     "SystemConfig",
     "View",
+    "available_fd_kinds",
+    "available_stacks",
     "build_system",
+    "register_fd_kind",
+    "register_stack",
     "__version__",
 ]

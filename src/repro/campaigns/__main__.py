@@ -11,11 +11,20 @@ Examples::
     python -m repro.campaigns --scenario churn --churn-rate 2 --downtime 150 \\
         --detection-time 10 --throughputs 10 100 --cache-dir .campaign-cache
 
+    python -m repro.campaigns --scenario churn-steady --stack fd --fd heartbeat \\
+        --detection-time 10 --cache-dir .campaign-cache
+
 Seven scenario kinds are available: the paper's four (``normal-steady``,
 ``crash-steady``, ``suspicion-steady``, ``crash-transient``) and the
 beyond-paper fault-schedule scenarios (``correlated-crash``,
 ``churn-steady``, ``asymmetric-qos``); ``churn`` / ``correlated`` /
 ``asymmetric`` / ``normal`` are accepted shorthands.
+
+``--stack`` sweeps protocol stacks from the registry (``fd``, ``gm``,
+``gm-nonuniform``, or slash-qualified variants like ``fd/heartbeat``) and
+``--fd`` sweeps failure detector kinds (``qos``, ``heartbeat``,
+``perfect``) across every stack -- the axis QoS-FD vs heartbeat-FD
+comparisons sweep.  ``--algorithms`` is a deprecated alias of ``--stack``.
 
 Every completed point is cached under ``--cache-dir`` (when given), so
 re-running the same grid -- or a larger grid that contains it -- only
@@ -57,7 +66,25 @@ def main(argv: List[str] = None) -> int:
         help="scenario kind of every point (default: normal-steady)",
     )
     parser.add_argument(
-        "--algorithms", nargs="+", default=["fd", "gm"], help="algorithms to sweep"
+        "--stack",
+        "--stacks",
+        dest="stacks",
+        nargs="+",
+        default=None,
+        help="protocol stacks to sweep (default: fd gm); accepts fd/heartbeat-style variants",
+    )
+    parser.add_argument(
+        "--fd",
+        dest="fd_kinds",
+        nargs="+",
+        default=None,
+        help=(
+            "failure detector kinds to sweep across every stack "
+            "(default: each stack's default kind, qos for the built-ins)"
+        ),
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", default=None, help="deprecated alias of --stack"
     )
     parser.add_argument(
         "--n", nargs="+", type=int, default=[3], help="system sizes to sweep"
@@ -129,10 +156,15 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("-o", "--output", default=None, help="write the report to a file")
     args = parser.parse_args(argv)
 
+    if args.stacks is not None and args.algorithms is not None:
+        parser.error("--algorithms is a deprecated alias of --stack; pass only one")
+    stacks = args.stacks if args.stacks is not None else args.algorithms
+
     campaign = grid(
         SCENARIO_ALIASES.get(args.scenario, args.scenario),
         name=args.name,
-        algorithms=args.algorithms,
+        stacks=stacks if stacks is not None else ("fd", "gm"),
+        fd_kinds=args.fd_kinds if args.fd_kinds is not None else (None,),
         n_values=args.n,
         throughputs=args.throughputs,
         seeds=args.seeds,

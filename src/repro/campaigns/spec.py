@@ -16,12 +16,14 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import warnings
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import __version__
-from repro.system import ALGORITHMS, SystemConfig
+from repro.stacks import registry as stack_registry
+from repro.system import SystemConfig
 
 #: Scenario kinds a point can run: the paper's four benchmark scenarios plus
 #: the beyond-paper fault-schedule scenarios.
@@ -38,7 +40,12 @@ SCENARIO_KINDS = (
 #: Bump when the meaning of a point's fields changes, to invalidate caches.
 #: v2: per-pair sender for crash-transient sweeps + the fault-schedule
 #: scenario fields (crash_time, churn_rate, mean_downtime, flaky pair).
-SCHEMA_VERSION = 2
+#: v3: the pluggable-stack redesign -- the ``algorithm`` dimension became
+#: ``stack`` and the ``fd_kind`` dimension was added, so every point's
+#: canonical dict (and therefore its key) changed.  Old v2 caches are
+#: simply never hit again; they can be deleted, or kept alongside (the
+#: JSONL store is append-only and version-prefixed keys never collide).
+SCHEMA_VERSION = 3
 
 INFINITY = float("inf")
 
@@ -104,10 +111,18 @@ class PointSpec:
     suspicion-steady, ``detection_time`` / ``crashed_process`` / ``num_runs``
     for crash-transient), but *all* fields enter the cache key, so a point's
     identity never depends on which figure declared it.
+
+    ``stack`` and ``fd_kind`` select the protocol stack and failure detector
+    variant from the registry (:mod:`repro.stacks`); a slash-qualified stack
+    (``"fd/heartbeat"``) is normalised into the two fields so equivalent
+    selections hash identically.  The keyword ``algorithm=`` is accepted as
+    a deprecated alias of ``stack=`` (DeprecationWarning at construction).
     """
 
     kind: str
-    algorithm: str = "fd"
+    stack: Optional[str] = None
+    #: ``None`` selects the stack's default kind ("qos" for the built-ins).
+    fd_kind: Optional[str] = None
     n: int = 3
     seed: int = 1
     throughput: float = 10.0
@@ -142,15 +157,44 @@ class PointSpec:
     flaky_target: int = 0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Deprecated alias of ``stack`` (not a field: never enters the key).
+    algorithm: InitVar[Optional[str]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, algorithm: Optional[str]) -> None:
+        if algorithm is not None:
+            warnings.warn(
+                "PointSpec(algorithm=...) is deprecated; use stack= (and "
+                "fd_kind= for the failure detector variant) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.stack is not None and self.stack != algorithm:
+                raise ValueError(
+                    f"conflicting stack selection: stack={self.stack!r} vs "
+                    f"deprecated algorithm={algorithm!r}"
+                )
+            object.__setattr__(self, "stack", algorithm)
+        if self.stack is None:
+            object.__setattr__(self, "stack", "fd")
         if self.kind not in SCENARIO_KINDS:
             raise ValueError(
                 f"unknown scenario kind {self.kind!r}; expected one of {SCENARIO_KINDS}"
             )
-        if self.algorithm not in ALGORITHMS:
+        # Validates both registry names and folds "fd/heartbeat" variants so
+        # equivalent selections produce identical cache keys; an explicit
+        # fd_kind conflicting with an embedded one raises (like SystemConfig).
+        spec, resolved_kind = stack_registry.resolve(self.stack, self.fd_kind)
+        object.__setattr__(self, "stack", spec.name)
+        object.__setattr__(self, "fd_kind", resolved_kind)
+        if self.kind in ("suspicion-steady", "asymmetric-qos") and self.fd_kind != "qos":
             raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+                f"{self.kind} points drive the QoS mistake model and need fd_kind='qos'"
+            )
+        if self.kind == "crash-transient" and self.fd_kind == "heartbeat":
+            raise ValueError(
+                "crash-transient points pin the detection time T_D and subtract it "
+                "from the reported overhead; the heartbeat detector's T_D emerges "
+                "from period + timeout instead (use fd_kind='qos' or 'perfect')"
             )
         if self.kind in ("suspicion-steady", "asymmetric-qos") and not math.isfinite(
             self.mistake_recurrence_time
@@ -175,7 +219,8 @@ class PointSpec:
         """The ``SystemConfig`` this point simulates."""
         return SystemConfig(
             n=self.n,
-            algorithm=self.algorithm,
+            stack=self.stack,
+            fd_kind=self.fd_kind,
             seed=self.seed,
             **dict(self.config_overrides),
         )
@@ -191,7 +236,8 @@ class PointSpec:
         """
         return {
             "kind": self.kind,
-            "algorithm": self.algorithm,
+            "stack": self.stack,
+            "fd_kind": self.fd_kind,
             "n": int(self.n),
             "seed": int(self.seed),
             "throughput": _json_number(self.throughput),
@@ -253,8 +299,9 @@ class PointSpec:
                 f" T_MR={self.mistake_recurrence_time:g} T_M={self.mistake_duration:g}"
             ),
         }[self.kind]
+        stack = self.stack if self.fd_kind == "qos" else f"{self.stack}/{self.fd_kind}"
         return (
-            f"{self.kind} {self.algorithm} n={self.n} T={self.throughput:g}/s"
+            f"{self.kind} {stack} n={self.n} T={self.throughput:g}/s"
             f"{extras} seed={self.seed}"
         )
 
@@ -316,7 +363,9 @@ def grid(
     kind: str,
     *,
     name: str = "adhoc",
-    algorithms: Sequence[str] = ("fd", "gm"),
+    stacks: Optional[Sequence[str]] = None,
+    fd_kinds: Sequence[Optional[str]] = (None,),
+    algorithms: Optional[Sequence[str]] = None,
     n_values: Sequence[int] = (3,),
     throughputs: Sequence[float] = (10.0, 100.0),
     seeds: Sequence[int] = (1,),
@@ -338,24 +387,53 @@ def grid(
 ) -> CampaignSpec:
     """Build an ad-hoc campaign over the cartesian product of the axes.
 
-    One series per ``(algorithm, n)`` pair, one x position per throughput,
-    one replica per seed.  ``crashes`` (crash-steady and correlated-crash)
-    selects the highest-numbered processes, matching the paper's
-    non-coordinator convention.
+    One series per ``(stack, fd_kind, n)`` triple, one x position per
+    throughput, one replica per seed.  ``stacks`` accepts slash-qualified
+    names (``"fd/heartbeat"``); the ``fd_kinds`` axis crosses every stack
+    with every failure detector kind, which is how QoS-FD vs heartbeat-FD
+    comparison sweeps are declared.  ``algorithms`` is a deprecated alias of
+    ``stacks``.  ``crashes`` (crash-steady and correlated-crash) selects the
+    highest-numbered processes, matching the paper's non-coordinator
+    convention.
     """
+    if algorithms is not None:
+        warnings.warn(
+            "grid(algorithms=...) is deprecated; use stacks= instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if stacks is not None and tuple(stacks) != tuple(algorithms):
+            raise ValueError("pass stacks= or algorithms=, not conflicting both")
+        stacks = algorithms
+    if stacks is None:
+        stacks = ("fd", "gm")
     overrides = tuple(config_overrides)
     crash_kinds = ("crash-steady", "correlated-crash")
     # Duplicate seeds would pool the same simulation twice and shrink the
     # reported CI with zero new information; drop them, preserving order.
     seeds = list(dict.fromkeys(int(seed) for seed in seeds))
+    # Same for duplicate (stack, fd_kind) combos, which slash-qualified
+    # stack names crossed with an fd_kinds axis can produce.
+    # ``None`` on the fd_kinds axis means "the stack's default kind"; an
+    # explicit kind conflicting with a slash-qualified stack raises
+    # (mirroring SystemConfig) rather than silently dropping the axis.
+    combos = list(
+        dict.fromkeys(
+            stack_registry.resolve(stack, fd_kind)
+            for stack in stacks
+            for fd_kind in fd_kinds
+        )
+    )
     campaign = CampaignSpec(name=name, description=description)
     for n in n_values:
         if kind in crash_kinds and crashes > SystemConfig(n=n).max_tolerated_crashes():
             raise ValueError(f"{crashes} crashes exceed the f < n/2 bound for n={n}")
-        for algorithm in algorithms:
+        for stack_spec, fd_kind in combos:
+            stack = stack_spec.name
+            label = stack if fd_kind == "qos" else f"{stack}/{fd_kind}"
             series = SeriesSpec(
-                label=f"{algorithm}, n={n}",
-                params={"algorithm": algorithm, "n": n, "kind": kind},
+                label=f"{label}, n={n}",
+                params={"stack": stack, "fd_kind": fd_kind, "n": n, "kind": kind},
             )
             for throughput in throughputs:
                 series.points.append(
@@ -364,7 +442,8 @@ def grid(
                         points=[
                             PointSpec(
                                 kind=kind,
-                                algorithm=algorithm,
+                                stack=stack,
+                                fd_kind=fd_kind,
                                 n=n,
                                 seed=seed,
                                 throughput=throughput,

@@ -164,9 +164,33 @@ class ConsensusInstance:
             if kind == _PROPOSE or (
                 kind == _ESTIMATE and self.coordinator_of(round_number) == self.pid
             ):
+                self._skip_rounds(self.round + 1, round_number)
                 self._enter_round(round_number)
             return
         self._process_current(sender, body)
+
+    def _skip_rounds(self, first: int, limit: int) -> None:
+        """Feed the coordinators of rounds the catch-up rule jumps over.
+
+        Jumping from round ``r`` straight to ``r' > r + 1`` must not starve
+        the coordinators of the rounds in between: each of them may already
+        be parked in its own round waiting for a majority of estimates, and
+        a process never suspects itself, so no failure detector event can
+        ever unpark it -- three processes parked as the coordinators of
+        three different rounds deadlock the instance permanently.  Send each
+        skipped coordinator what a sequential pass through ``_enter_round``
+        would have sent -- our estimate, plus the nack that records that we
+        jumped past the round and will never acknowledge its proposal.
+        """
+        for round_number in range(first, limit):
+            coordinator = self.coordinator_of(round_number)
+            if coordinator == self.pid:
+                continue
+            self._send(
+                coordinator, (_ESTIMATE, self.cid, round_number, self.estimate, self.ts)
+            )
+            self._send(coordinator, (_NACK, self.cid, round_number))
+            self._nacked_round.add(round_number)
 
     def _handle_old_round(self, sender: int, body: Any) -> None:
         kind, _cid, round_number = body[0], body[1], body[2]

@@ -14,10 +14,14 @@ Figs. 4 and 5 in quick mode) are simulated only once.
 
 Beyond the figures, ``--scenario`` runs any of the seven scenario kinds as
 an ad-hoc campaign grid (delegating to ``python -m repro.campaigns``, whose
-options apply)::
+options apply -- including ``--stack`` / ``--fd`` for sweeping registered
+protocol stacks and failure detector kinds)::
 
     python -m repro.experiments --scenario churn --churn-rate 2 \\
         --throughputs 10 100 --jobs 4 --cache-dir .cache
+
+    python -m repro.experiments --scenario churn-steady --stack fd \\
+        --fd qos heartbeat --detection-time 10
 """
 
 from __future__ import annotations

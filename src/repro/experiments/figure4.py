@@ -47,7 +47,7 @@ def build_campaign(
                         points=[
                             PointSpec(
                                 kind="normal-steady",
-                                algorithm=algorithm,
+                                stack=algorithm,
                                 n=n,
                                 seed=point_seed,
                                 throughput=throughput,

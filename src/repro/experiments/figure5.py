@@ -75,7 +75,7 @@ def build_campaign(
                             points=[
                                 PointSpec(
                                     kind="normal-steady" if crashes == 0 else "crash-steady",
-                                    algorithm=algorithm,
+                                    stack=algorithm,
                                     n=n,
                                     seed=point_seed,
                                     throughput=throughput,

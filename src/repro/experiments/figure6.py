@@ -56,7 +56,7 @@ def build_campaign(
                         points=[
                             PointSpec(
                                 kind="suspicion-steady",
-                                algorithm=algorithm,
+                                stack=algorithm,
                                 n=n,
                                 seed=point_seed,
                                 throughput=throughput,

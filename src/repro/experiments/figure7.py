@@ -70,7 +70,7 @@ def build_campaign(
                         points=[
                             PointSpec(
                                 kind="suspicion-steady",
-                                algorithm=algorithm,
+                                stack=algorithm,
                                 n=n,
                                 seed=point_seed,
                                 throughput=throughput,

@@ -61,7 +61,7 @@ def build_campaign(
                             points=[
                                 PointSpec(
                                     kind="crash-transient",
-                                    algorithm=algorithm,
+                                    stack=algorithm,
                                     n=n,
                                     seed=point_seed,
                                     throughput=throughput,

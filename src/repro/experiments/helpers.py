@@ -37,9 +37,9 @@ def point_from_transient(x: float, result: TransientResult, overhead: bool = Tru
     )
 
 
-def base_config(algorithm: str, n: int, seed: int, **overrides) -> SystemConfig:
+def base_config(stack: str, n: int, seed: int, **overrides) -> SystemConfig:
     """The system configuration shared by all figures (λ = 1, 1 ms time unit)."""
-    return SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides)
+    return SystemConfig(n=n, stack=stack, seed=seed, **overrides)
 
 
 def default_throughputs(n: int, quick: bool) -> List[float]:
@@ -55,6 +55,9 @@ def default_throughputs(n: int, quick: bool) -> List[float]:
     return [10, 50, 100, 200, 300, 400, 500, 600]
 
 
-def algorithm_label(algorithm: str) -> str:
-    """Human-readable label of an algorithm identifier."""
-    return {"fd": "FD", "gm": "GM", "gm-nonuniform": "GM (non-uniform)"}[algorithm]
+def algorithm_label(stack: str) -> str:
+    """Human-readable label of a stack identifier (``fd/heartbeat`` style too)."""
+    labels = {"fd": "FD", "gm": "GM", "gm-nonuniform": "GM (non-uniform)"}
+    base, _, fd_kind = stack.partition("/")
+    label = labels.get(base, base)
+    return f"{label} ({fd_kind} FD)" if fd_kind else label

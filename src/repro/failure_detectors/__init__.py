@@ -9,24 +9,40 @@ metrics of Chen, Toueg and Aguilera:
   suspicions of a correct process,
 * mistake duration ``T_M`` -- how long a wrong suspicion lasts.
 
-:class:`QoSFailureDetector` implements exactly this model (constant ``T_D``,
-exponentially distributed ``T_MR`` and ``T_M``, all monitor pairs independent
-and identically distributed).  :class:`PerfectFailureDetector` is the
-degenerate case without mistakes.  :class:`HeartbeatFailureDetector` is a
-concrete, message-based detector provided as an extension: it lets users
+:class:`QoSFailureDetectorFabric` implements exactly this model (constant
+``T_D``, exponentially distributed ``T_MR`` and ``T_M``, all monitor pairs
+independent).  :class:`PerfectFailureDetectorFabric` is the mistake-free
+idealisation, built on the shared :class:`CrashDetectionFabric` base rather
+than on the QoS fabric.  :class:`HeartbeatFailureDetectorFabric` drives the
+concrete, message-based :class:`HeartbeatFailureDetector`: it lets users
 check how implementation parameters (heartbeat period, timeout) map onto the
-QoS metrics.
+QoS metrics and how heartbeat traffic loads the network.
+
+All three are registered as ``fd_kind``\\ s in the stack registry
+(:mod:`repro.stacks.registry`): ``"qos"``, ``"perfect"`` and ``"heartbeat"``
+are selectable on any stack via ``SystemConfig(fd_kind=...)``.
 """
 
+from repro.failure_detectors.fabric import CrashDetectionFabric
+from repro.failure_detectors.heartbeat import (
+    HeartbeatConfig,
+    HeartbeatFailureDetector,
+    HeartbeatFailureDetectorFabric,
+)
 from repro.failure_detectors.interface import FailureDetector, SuspicionListener
+from repro.failure_detectors.perfect import (
+    PerfectFailureDetector,
+    PerfectFailureDetectorFabric,
+)
 from repro.failure_detectors.qos import QoSConfig, QoSFailureDetector, QoSFailureDetectorFabric
-from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
-from repro.failure_detectors.heartbeat import HeartbeatConfig, HeartbeatFailureDetector
 
 __all__ = [
+    "CrashDetectionFabric",
     "FailureDetector",
     "HeartbeatConfig",
     "HeartbeatFailureDetector",
+    "HeartbeatFailureDetectorFabric",
+    "PerfectFailureDetector",
     "PerfectFailureDetectorFabric",
     "QoSConfig",
     "QoSFailureDetector",

@@ -1,0 +1,207 @@
+"""Shared machinery of the clock-driven failure detector fabrics.
+
+:class:`CrashDetectionFabric` owns one detector per process and implements
+everything every clock-driven fabric needs, independent of *why* suspicions
+happen:
+
+* crash detection: a crash is suspected by every monitor a per-pair
+  detection time ``T_D`` later (pending detections are cancelled if the
+  process recovers first -- a crash shorter than ``T_D`` goes unnoticed);
+* trust restoration: monitors that did suspect a recovered process trust it
+  again one detection time after the recovery;
+* forced suspicions: :meth:`suspect_permanently` (the crash-steady
+  convention) and :meth:`suspect_during` (deterministic wrong-suspicion
+  windows used by declarative fault schedules).
+
+:class:`repro.failure_detectors.qos.QoSFailureDetectorFabric` extends it
+with the paper's *random* mistake model (exponential ``T_MR`` / ``T_M``);
+:class:`repro.failure_detectors.perfect.PerfectFailureDetectorFabric` uses
+it as-is, so "perfect" can no longer inherit QoS mistake behaviour by
+accident.  The mistake-specific extension points are the ``_cancel_mistakes``
+/ ``_resume_mistakes`` hooks and the :meth:`start` override.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.failure_detectors.interface import FailureDetector
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import Network
+
+#: An ordered (monitor, monitored) failure detector pair.
+Pair = Tuple[int, int]
+
+
+class CrashDetectionFabric:
+    """Base fabric: crash detection, trust restoration, forced suspicions."""
+
+    #: Detector class instantiated per process; subclasses may refine it.
+    detector_class = FailureDetector
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        monitored: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        pids = list(range(network.n)) if monitored is None else sorted(monitored)
+        self._detectors: Dict[int, FailureDetector] = {
+            pid: self.detector_class(pid, pids) for pid in pids
+        }
+        # Pending crash detections / post-recovery trust restorations, so a
+        # recovery (resp. a re-crash) can cancel them.
+        self._pending_detect: Dict[Pair, EventHandle] = {}
+        self._pending_trust: Dict[Pair, EventHandle] = {}
+        self._crashed: set = set()
+        self._started = False
+        network.add_crash_listener(self._on_crash)
+        network.add_recovery_listener(self._on_recovery)
+
+    # ------------------------------------------------------------------ access
+
+    def attach(self, process) -> FailureDetector:
+        """The detector of ``process`` (fabric protocol; detectors pre-exist)."""
+        return self._detectors[process.pid]
+
+    def detector(self, pid: int) -> FailureDetector:
+        """The failure detector local to process ``pid``."""
+        return self._detectors[pid]
+
+    def detectors(self) -> Dict[int, FailureDetector]:
+        """All detectors, keyed by owner process id."""
+        return dict(self._detectors)
+
+    # ------------------------------------------------------------------ hooks
+
+    def _detection_time(self, monitor: int, monitored: int) -> float:
+        """The detection time ``T_D`` of the ordered pair (default: 0)."""
+        return 0.0
+
+    def _cancel_mistakes(self, monitor: int, monitored: int) -> None:
+        """Cancel pending random-mistake events of the pair (mistake models)."""
+
+    def _resume_mistakes(self, monitor: int, monitored: int) -> None:
+        """Resume random-mistake generation for the pair after a recovery."""
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Lifecycle hook called once when the system starts (idempotent)."""
+        self._started = True
+
+    def suspect_permanently(self, monitored: int, delay: float = 0.0) -> None:
+        """Make every monitor suspect ``monitored`` permanently after ``delay``.
+
+        Used by the crash-steady scenario where crashes happened long before
+        the measured window: every detector suspects the crashed processes
+        from the very start of the run.
+        """
+        self._crashed.add(monitored)
+        for monitor, detector in self._detectors.items():
+            if monitor == monitored:
+                continue
+            self._cancel_mistakes(monitor, monitored)
+            if delay == 0.0:
+                detector._set_suspected(monitored, True)
+            else:
+                self._sim.schedule(delay, detector._set_suspected, monitored, True)
+
+    def suspect_during(
+        self,
+        target: int,
+        start: float,
+        duration: float,
+        monitors: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``.
+
+        Every monitor in ``monitors`` (default: all) suspects ``target`` at
+        absolute time ``start`` and trusts it again ``duration`` later --
+        the deterministic counterpart of the random QoS mistakes, used by
+        declarative fault schedules.  Crashed endpoints are skipped at fire
+        time, and the suspicion is not lifted if ``target`` really crashed
+        in the meantime.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        pids = self._detectors.keys() if monitors is None else monitors
+        for monitor in pids:
+            if monitor == target:
+                continue
+            self._sim.schedule_at(start, self._forced_begins, monitor, target, duration)
+
+    def _forced_begins(self, monitor: int, target: int, duration: float) -> None:
+        if target in self._crashed or monitor in self._crashed:
+            return
+        detector = self._detectors[monitor]
+        if detector.is_suspected(target):
+            return
+        detector._set_suspected(target, True)
+        if duration <= 0:
+            detector._set_suspected(target, False)
+        else:
+            self._sim.schedule(duration, self._forced_ends, monitor, target)
+
+    def _forced_ends(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(monitored, False)
+
+    # ------------------------------------------------------------------ crashes
+
+    def _on_crash(self, pid: int, _time: float) -> None:
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        for monitor, detector in self._detectors.items():
+            if monitor == pid:
+                continue
+            self._cancel_mistakes(monitor, pid)
+            self._cancel_trust(monitor, pid)
+            detection_time = self._detection_time(monitor, pid)
+            self._pending_detect[(monitor, pid)] = self._sim.schedule(
+                detection_time, self._detect_crash, monitor, pid
+            )
+
+    def _detect_crash(self, monitor: int, crashed: int) -> None:
+        self._pending_detect.pop((monitor, crashed), None)
+        self._detectors[monitor]._set_suspected(crashed, True)
+
+    # ------------------------------------------------------------------ recoveries
+
+    def _on_recovery(self, pid: int, _time: float) -> None:
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        for monitor in self._detectors:
+            if monitor == pid:
+                continue
+            # A crash shorter than the detection time goes unnoticed.
+            pending = self._pending_detect.pop((monitor, pid), None)
+            if pending is not None:
+                pending.cancel()
+            if self._detectors[monitor].is_suspected(pid):
+                detection_time = self._detection_time(monitor, pid)
+                self._pending_trust[(monitor, pid)] = self._sim.schedule(
+                    detection_time, self._restore_trust, monitor, pid
+                )
+            # Wrong-suspicion generation resumes in both directions.
+            if self._started:
+                self._resume_mistakes(monitor, pid)
+                self._resume_mistakes(pid, monitor)
+
+    def _restore_trust(self, monitor: int, recovered: int) -> None:
+        self._pending_trust.pop((monitor, recovered), None)
+        if recovered in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(recovered, False)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _cancel_trust(self, monitor: int, monitored: int) -> None:
+        handle = self._pending_trust.pop((monitor, monitored), None)
+        if handle is not None:
+            handle.cancel()

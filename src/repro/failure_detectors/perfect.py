@@ -1,26 +1,35 @@
 """Perfect failure detector: no mistakes, immediate (or delayed) detection.
 
-A convenience wrapper over the QoS fabric with ``T_MR = inf`` and
-``T_M = 0``.  Used extensively by the unit and property tests, and available
-to library users who want to study algorithms under an idealised detector.
+Built directly on the shared
+:class:`~repro.failure_detectors.fabric.CrashDetectionFabric` base -- *not*
+on the QoS fabric -- so the perfect detector cannot inherit QoS mistake
+behaviour by accident: there is simply no mistake machinery in its type.
+Crashes are detected exactly ``detection_time`` after they happen, trust is
+restored one ``detection_time`` after a recovery, and no correct process is
+ever suspected.  Used extensively by the unit and property tests, and
+available as the ``"perfect"`` fd kind of the stack registry
+(``SystemConfig(stack="fd", fd_kind="perfect")`` or ``stack="fd/perfect"``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
-from repro.failure_detectors.qos import QoSConfig, QoSFailureDetectorFabric
+from repro.failure_detectors.fabric import CrashDetectionFabric
+from repro.failure_detectors.interface import FailureDetector
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
 
 
-class PerfectFailureDetectorFabric(QoSFailureDetectorFabric):
-    """QoS fabric configured as a perfect detector.
+class PerfectFailureDetector(FailureDetector):
+    """Per-process detector driven by a :class:`PerfectFailureDetectorFabric`."""
 
-    Crashes are detected exactly ``detection_time`` after they happen and no
-    correct process is ever suspected.
-    """
+
+class PerfectFailureDetectorFabric(CrashDetectionFabric):
+    """An idealised detector: constant-delay crash detection, zero mistakes."""
+
+    detector_class = PerfectFailureDetector
 
     def __init__(
         self,
@@ -28,10 +37,15 @@ class PerfectFailureDetectorFabric(QoSFailureDetectorFabric):
         network: Network,
         rng: Optional[RandomStreams] = None,
         detection_time: float = 0.0,
+        monitored: Optional[Iterable[int]] = None,
     ) -> None:
-        config = QoSConfig(
-            detection_time=detection_time,
-            mistake_recurrence_time=float("inf"),
-            mistake_duration=0.0,
-        )
-        super().__init__(sim, network, rng or RandomStreams(0), config)
+        if detection_time < 0:
+            raise ValueError(f"detection_time must be >= 0, got {detection_time}")
+        # ``rng`` is accepted (and ignored) so the fabric satisfies the
+        # uniform registry factory signature: a perfect detector draws
+        # nothing random.
+        self.detection_time = detection_time
+        super().__init__(sim, network, monitored=monitored)
+
+    def _detection_time(self, monitor: int, monitored: int) -> float:
+        return self.detection_time

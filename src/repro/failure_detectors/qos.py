@@ -16,10 +16,11 @@ additionally supports **asymmetric per-pair QoS**: any ordered pair
 flaky observer that wrongly suspects one peer far more often than everyone
 else), which is what the beyond-paper ``asymmetric-qos`` scenario sweeps.
 
-Crash *recovery* is supported: when a monitored process recovers, pending
-crash detections are cancelled (a crash shorter than ``T_D`` goes unnoticed,
-as with real heartbeat-style detectors) and monitors that did suspect it
-trust it again one detection time after the recovery.
+Crash detection, trust restoration after recovery and the forced-suspicion
+capabilities (:meth:`~repro.failure_detectors.fabric.CrashDetectionFabric.suspect_permanently`,
+:meth:`~repro.failure_detectors.fabric.CrashDetectionFabric.suspect_during`)
+come from the shared :class:`~repro.failure_detectors.fabric.CrashDetectionFabric`
+base; this module adds the *random* mistake model on top.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.failure_detectors.fabric import CrashDetectionFabric, Pair
 from repro.failure_detectors.interface import FailureDetector
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
@@ -35,8 +37,7 @@ from repro.sim.rng import RandomStreams
 
 INFINITY = float("inf")
 
-#: An ordered (monitor, monitored) failure detector pair.
-Pair = Tuple[int, int]
+__all__ = ["INFINITY", "Pair", "QoSConfig", "QoSFailureDetector", "QoSFailureDetectorFabric"]
 
 
 @dataclass(frozen=True)
@@ -134,8 +135,10 @@ class QoSFailureDetector(FailureDetector):
     """Per-process failure detector driven by a :class:`QoSFailureDetectorFabric`."""
 
 
-class QoSFailureDetectorFabric:
+class QoSFailureDetectorFabric(CrashDetectionFabric):
     """Creates and drives the QoS failure detectors of every process."""
+
+    detector_class = QoSFailureDetector
 
     def __init__(
         self,
@@ -145,156 +148,28 @@ class QoSFailureDetectorFabric:
         config: QoSConfig,
         monitored: Optional[Iterable[int]] = None,
     ) -> None:
-        self._sim = sim
-        self._network = network
         self._rng = rng
         self.config = config
-        n = network.n
-        pids = list(range(n)) if monitored is None else sorted(monitored)
-        self._detectors: Dict[int, QoSFailureDetector] = {
-            pid: QoSFailureDetector(pid, pids) for pid in pids
-        }
         # Pending mistake events per ordered monitor pair (monitor, monitored).
         self._pending: Dict[Pair, List[EventHandle]] = {}
-        # Pending crash detections / post-recovery trust restorations, so a
-        # recovery (resp. a re-crash) can cancel them.
-        self._pending_detect: Dict[Pair, EventHandle] = {}
-        self._pending_trust: Dict[Pair, EventHandle] = {}
-        self._crashed: set = set()
-        self._started = False
-        network.add_crash_listener(self._on_crash)
-        network.add_recovery_listener(self._on_recovery)
+        super().__init__(sim, network, monitored=monitored)
 
-    # ------------------------------------------------------------------ access
-
-    def detector(self, pid: int) -> QoSFailureDetector:
-        """The failure detector local to process ``pid``."""
-        return self._detectors[pid]
-
-    def detectors(self) -> Dict[int, QoSFailureDetector]:
-        """All detectors, keyed by owner process id."""
-        return dict(self._detectors)
+    # ------------------------------------------------------------------ hooks
 
     def _pair_config(self, monitor: int, monitored: int) -> QoSConfig:
         return self.config.pair(monitor, monitored)
 
-    # ------------------------------------------------------------------ lifecycle
+    def _detection_time(self, monitor: int, monitored: int) -> float:
+        return self._pair_config(monitor, monitored).detection_time
 
-    def start(self) -> None:
-        """Begin generating wrong suspicions (call once before the run)."""
-        self._started = True
-        if not self.config.generates_mistakes:
-            return
-        for monitor in self._detectors:
-            for monitored in self._detectors[monitor].monitored:
-                self._schedule_next_mistake(monitor, monitored)
+    def _cancel_mistakes(self, monitor: int, monitored: int) -> None:
+        for handle in self._pending.pop((monitor, monitored), []):
+            handle.cancel()
 
-    def suspect_permanently(self, monitored: int, delay: float = 0.0) -> None:
-        """Make every monitor suspect ``monitored`` permanently after ``delay``.
-
-        Used by the crash-steady scenario where crashes happened long before
-        the measured window: every detector suspects the crashed processes
-        from the very start of the run.
-        """
-        self._crashed.add(monitored)
-        for monitor, detector in self._detectors.items():
-            if monitor == monitored:
-                continue
-            self._cancel_pending(monitor, monitored)
-            if delay == 0.0:
-                detector._set_suspected(monitored, True)
-            else:
-                self._sim.schedule(delay, detector._set_suspected, monitored, True)
-
-    def suspect_during(
-        self,
-        target: int,
-        start: float,
-        duration: float,
-        monitors: Optional[Iterable[int]] = None,
-    ) -> None:
-        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``.
-
-        Every monitor in ``monitors`` (default: all) suspects ``target`` at
-        absolute time ``start`` and trusts it again ``duration`` later --
-        the deterministic counterpart of the random QoS mistakes, used by
-        declarative fault schedules.  Crashed endpoints are skipped at fire
-        time, and the suspicion is not lifted if ``target`` really crashed
-        in the meantime.
-        """
-        if duration < 0:
-            raise ValueError(f"duration must be >= 0, got {duration}")
-        pids = self._detectors.keys() if monitors is None else monitors
-        for monitor in pids:
-            if monitor == target:
-                continue
-            self._sim.schedule_at(start, self._forced_begins, monitor, target, duration)
-
-    def _forced_begins(self, monitor: int, target: int, duration: float) -> None:
-        if target in self._crashed or monitor in self._crashed:
-            return
-        detector = self._detectors[monitor]
-        if detector.is_suspected(target):
-            return
-        detector._set_suspected(target, True)
-        if duration <= 0:
-            detector._set_suspected(target, False)
-        else:
-            self._sim.schedule(duration, self._mistake_ends, monitor, target)
-
-    # ------------------------------------------------------------------ crashes
-
-    def _on_crash(self, pid: int, _time: float) -> None:
-        if pid in self._crashed:
-            return
-        self._crashed.add(pid)
-        for monitor, detector in self._detectors.items():
-            if monitor == pid:
-                continue
-            self._cancel_pending(monitor, pid)
-            self._cancel_trust(monitor, pid)
-            detection_time = self._pair_config(monitor, pid).detection_time
-            self._pending_detect[(monitor, pid)] = self._sim.schedule(
-                detection_time, self._detect_crash, monitor, pid
-            )
-
-    def _detect_crash(self, monitor: int, crashed: int) -> None:
-        self._pending_detect.pop((monitor, crashed), None)
-        self._detectors[monitor]._set_suspected(crashed, True)
-
-    # ------------------------------------------------------------------ recoveries
-
-    def _on_recovery(self, pid: int, _time: float) -> None:
-        if pid not in self._crashed:
-            return
-        self._crashed.discard(pid)
-        for monitor in self._detectors:
-            if monitor == pid:
-                continue
-            # A crash shorter than the detection time goes unnoticed.
-            pending = self._pending_detect.pop((monitor, pid), None)
-            if pending is not None:
-                pending.cancel()
-            if self._detectors[monitor].is_suspected(pid):
-                detection_time = self._pair_config(monitor, pid).detection_time
-                self._pending_trust[(monitor, pid)] = self._sim.schedule(
-                    detection_time, self._restore_trust, monitor, pid
-                )
-            # Wrong-suspicion generation resumes in both directions.
-            if self._started:
-                self._restart_mistakes(monitor, pid)
-                self._restart_mistakes(pid, monitor)
-
-    def _restore_trust(self, monitor: int, recovered: int) -> None:
-        self._pending_trust.pop((monitor, recovered), None)
-        if recovered in self._crashed:
-            return
-        self._detectors[monitor]._set_suspected(recovered, False)
-
-    def _restart_mistakes(self, monitor: int, monitored: int) -> None:
+    def _resume_mistakes(self, monitor: int, monitored: int) -> None:
         if monitor in self._crashed or monitored in self._crashed:
             return
-        self._cancel_pending(monitor, monitored)
+        self._cancel_mistakes(monitor, monitored)
         # Cancelling may have killed the end event of a wrong suspicion that
         # was in progress when the crash hit; lift it now or it never ends.
         # Real crash detections are excluded: those pairs have a pending
@@ -306,6 +181,17 @@ class QoSFailureDetectorFabric:
         ):
             detector._set_suspected(monitored, False)
         self._schedule_next_mistake(monitor, monitored)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin generating wrong suspicions (call once before the run)."""
+        super().start()
+        if not self.config.generates_mistakes:
+            return
+        for monitor in self._detectors:
+            for monitored in self._detectors[monitor].monitored:
+                self._schedule_next_mistake(monitor, monitored)
 
     # ------------------------------------------------------------------ mistakes
 
@@ -347,14 +233,3 @@ class QoSFailureDetectorFabric:
         if monitored in self._crashed:
             return
         self._detectors[monitor]._set_suspected(monitored, False)
-
-    # ------------------------------------------------------------------ helpers
-
-    def _cancel_pending(self, monitor: int, monitored: int) -> None:
-        for handle in self._pending.pop((monitor, monitored), []):
-            handle.cancel()
-
-    def _cancel_trust(self, monitor: int, monitored: int) -> None:
-        handle = self._pending_trust.pop((monitor, monitored), None)
-        if handle is not None:
-            handle.cancel()

@@ -161,6 +161,11 @@ def run_asymmetric_qos(
     perfect.  The default pair is "p1 wrongly suspects the coordinator /
     sequencer p0", the most damaging single bad link for both algorithms.
     """
+    if config.fd_kind != "qos":
+        raise ValueError(
+            "asymmetric-qos drives per-pair QoS overrides; "
+            f"fd_kind={config.fd_kind!r} does not support them (use fd_kind='qos')"
+        )
     if flaky_monitor == flaky_target:
         raise ValueError("the flaky observer pair needs two distinct processes")
     for pid in (flaky_monitor, flaky_target):

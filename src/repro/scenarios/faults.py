@@ -306,7 +306,7 @@ class FaultSchedule:
         for event in self.pre_run_events():
             system.crash(event.pid)
             if event.permanent_suspicion:
-                system.fd_fabric.suspect_permanently(event.pid)
+                system.suspect_permanently(event.pid)
 
     def schedule(self, system) -> None:
         """Schedule every timed event on the system's simulation kernel."""
@@ -314,16 +314,14 @@ class FaultSchedule:
             if isinstance(event, CrashAt):
                 system.crash_at(event.time, event.pid)
                 if event.permanent_suspicion:
-                    system.sim.schedule_at(
-                        event.time, system.fd_fabric.suspect_permanently, event.pid
-                    )
+                    system.suspect_permanently_at(event.time, event.pid)
             elif isinstance(event, RecoverAt):
                 system.recover_at(event.time, event.pid)
             elif isinstance(event, CorrelatedCrash):
                 for pid in event.pids:
                     system.crash_at(event.time, pid)
             elif isinstance(event, SuspectDuring):
-                system.fd_fabric.suspect_during(
+                system.suspect_during(
                     event.target,
                     event.start,
                     event.duration,
@@ -333,6 +331,14 @@ class FaultSchedule:
                 raise TypeError(f"cannot schedule fault event {event!r}")
 
     def apply(self, system) -> None:
-        """Compile the whole schedule onto ``system`` (pre events + timed)."""
+        """Compile the whole schedule onto ``system`` (pre events + timed).
+
+        ``system`` is anything satisfying the
+        :class:`repro.stacks.FaultInjectable` capability protocol -- the
+        schedule only uses ``crash`` / ``recover`` (and their scheduled
+        variants), ``suspect_permanently`` / ``suspect_permanently_at`` and
+        ``suspect_during``, never failure detector internals, so schedules
+        run unchanged on every registered stack and fd kind.
+        """
         self.apply_pre(system)
         self.schedule(system)

@@ -137,7 +137,7 @@ class ScenarioRunner:
         latencies = list(recorder.latencies(measured_ids).values())
         return ScenarioResult(
             scenario=spec.scenario,
-            algorithm=spec.config.algorithm,
+            algorithm=spec.config.stack_label,
             n=spec.config.n,
             throughput=spec.throughput,
             latencies=latencies,

@@ -115,6 +115,11 @@ def run_suspicion_steady(
     ms) of the exponential QoS metrics ``T_MR`` and ``T_M`` of every failure
     detector pair.  No process crashes.
     """
+    if config.fd_kind != "qos":
+        raise ValueError(
+            "suspicion-steady drives the random QoS mistake model; "
+            f"fd_kind={config.fd_kind!r} does not support it (use fd_kind='qos')"
+        )
     fd = QoSConfig(
         detection_time=0.0,
         mistake_recurrence_time=mistake_recurrence_time,

@@ -56,6 +56,12 @@ def run_crash_transient(
     ``sender`` at the same time.  The run ends as soon as the tagged message
     is delivered somewhere (or after ``max_wait`` ms past the crash).
     """
+    if config.fd_kind == "heartbeat":
+        raise ValueError(
+            "crash-transient pins the detection time T_D (and subtracts it from "
+            "the reported overhead); the heartbeat detector's T_D emerges from "
+            "period + timeout instead (use fd_kind='qos' or 'perfect')"
+        )
     if sender is None:
         sender = config.n - 1 if crashed_process != config.n - 1 else config.n - 2
     if sender == crashed_process:
@@ -84,7 +90,7 @@ def run_crash_transient(
             latencies.append(latency)
 
     return TransientResult(
-        algorithm=config.algorithm,
+        algorithm=config.stack_label,
         n=config.n,
         throughput=throughput,
         detection_time=detection_time,
@@ -163,19 +169,22 @@ def sweep_crash_transient(
     # Carry every non-default SystemConfig field into the points, so a sweep
     # over a customised system (lambda_cpu, pipeline_depth, ...) simulates
     # that system and not the defaults.  ``fd`` is excluded: the transient
-    # driver replaces it with the point's detection time anyway; the other
-    # exclusions are first-class PointSpec fields.
-    defaults = SystemConfig(n=config.n, algorithm=config.algorithm, seed=config.seed)
+    # driver replaces it with the point's detection time anyway.
+    # ``heartbeat`` is excluded because nested configs do not fit the flat
+    # JSON override tuples; the other exclusions are first-class PointSpec
+    # fields.
+    defaults = SystemConfig(n=config.n, stack=config.stack, seed=config.seed)
     overrides = tuple(
         (field.name, getattr(config, field.name))
         for field in dataclass_fields(SystemConfig)
-        if field.name not in ("n", "algorithm", "seed", "fd")
+        if field.name not in ("n", "stack", "fd_kind", "seed", "fd", "heartbeat")
         and getattr(config, field.name) != getattr(defaults, field.name)
     )
     points = [
         PointSpec(
             kind="crash-transient",
-            algorithm=config.algorithm,
+            stack=config.stack,
+            fd_kind=config.fd_kind,
             n=config.n,
             seed=derive_seed(config.seed, f"transient/p{crashed}/q{sender}"),
             throughput=throughput,
@@ -195,7 +204,7 @@ def sweep_crash_transient(
         name="crash-transient-sweep",
         series=[
             SeriesSpec(
-                label=f"{config.algorithm}, n={config.n}",
+                label=f"{config.stack_label}, n={config.n}",
                 points=[
                     SeriesPointSpec(x=float(index), points=[point])
                     for index, point in enumerate(points)

@@ -1,0 +1,217 @@
+"""Public API of the pluggable protocol-stack layer.
+
+The paper's whole point is comparing *interchangeable* protocol stacks under
+identical conditions.  This module defines the contracts that make a stack a
+first-class, swappable object instead of an ``if algorithm == ...`` chain:
+
+* :class:`StackSpec` -- a named, frozen descriptor of one layer composition
+  (which atomic broadcast variant, whether it needs a group membership
+  service, which failure detector kind it uses by default);
+* :class:`StackLayers` -- the per-process layer bundle a stack's builder
+  returns to the system assembler;
+* :class:`FailureDetectorFabric` -- the structural protocol every failure
+  detector implementation must satisfy to be registered as an ``fd_kind``
+  (the QoS model of the paper, the message-based heartbeat detector, the
+  idealised perfect detector, or a user-supplied one);
+* :class:`FaultInjectable` -- the capability protocol fault schedules compile
+  against: anything that can crash/recover processes and force suspicions
+  can execute a :class:`repro.scenarios.faults.FaultSchedule`, without the
+  schedule reaching into implementation internals like ``system.fd_fabric``.
+
+Concrete stack and failure detector registrations live in
+:mod:`repro.stacks.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.consensus import ConsensusService
+    from repro.core.group_membership import GroupMembership
+    from repro.core.reliable_broadcast import ReliableBroadcast
+    from repro.core.types import AtomicBroadcast
+    from repro.failure_detectors.interface import FailureDetector
+    from repro.sim.process import SimProcess
+    from repro.system import BroadcastSystem, SystemConfig
+
+
+@dataclass(frozen=True)
+class StackLayers:
+    """The per-process protocol layers one stack builder assembles.
+
+    ``abcast`` is mandatory (it is the service the workload drives);
+    ``membership`` is only present for stacks built on a group membership
+    service.  Further optional layers added by future stacks should extend
+    this bundle rather than grow positional returns.
+    """
+
+    abcast: "AtomicBroadcast"
+    membership: Optional["GroupMembership"] = None
+
+
+#: A stack's per-process layer factory.  Called once per process, *after* the
+#: process, its failure detector, the reliable broadcast and the consensus
+#: service exist -- in exactly that order, which golden-value tests pin down.
+LayerBuilder = Callable[
+    ["BroadcastSystem", "SimProcess", "ReliableBroadcast", "ConsensusService"],
+    StackLayers,
+]
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """A named, frozen descriptor of one protocol-stack composition.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"fd"``, ``"gm"``, ``"gm-nonuniform"``, ...).
+    description:
+        One-line human-readable summary (shown by CLIs and docs).
+    build:
+        The per-process layer factory (see :data:`LayerBuilder`).
+    uses_membership:
+        Whether the stack runs a group membership service (and therefore
+        exposes ``BroadcastSystem.membership``).
+    default_fd_kind:
+        The failure detector kind the stack uses unless the configuration
+        overrides it (``"qos"`` for all paper stacks).
+    params:
+        Free-form extra metadata for tooling (kept hashable as a tuple of
+        ``(key, value)`` pairs).
+    """
+
+    name: str
+    description: str
+    build: LayerBuilder
+    uses_membership: bool = False
+    default_fd_kind: str = "qos"
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a stack needs a non-empty name")
+        if "/" in self.name:
+            raise ValueError(
+                f"stack names cannot contain '/': {self.name!r} "
+                "(slashes select a failure detector variant, e.g. 'fd/heartbeat')"
+            )
+
+
+#: A failure detector fabric factory: called once per system, before any
+#: process exists, with the simulation kernel, the network, the system's
+#: random streams and the full configuration.
+FabricFactory = Callable[..., "FailureDetectorFabric"]
+
+
+@runtime_checkable
+class FailureDetectorFabric(Protocol):
+    """Structural protocol of a failure detector implementation.
+
+    A fabric owns one :class:`~repro.failure_detectors.interface.FailureDetector`
+    per process and drives their suspicion state -- from the simulation clock
+    (QoS model), from real messages (heartbeats) or not at all (perfect).
+    The system assembler and the fault-schedule compiler only ever use these
+    methods, so any object satisfying them can be registered as an
+    ``fd_kind``.
+    """
+
+    def attach(self, process: "SimProcess") -> "FailureDetector":
+        """Create/return the detector of ``process`` (called once per process)."""
+        ...
+
+    def detector(self, pid: int) -> "FailureDetector":
+        """The failure detector local to process ``pid``."""
+        ...
+
+    def detectors(self) -> Dict[int, "FailureDetector"]:
+        """All detectors, keyed by owner process id."""
+        ...
+
+    def start(self) -> None:
+        """Lifecycle hook invoked once when the system starts."""
+        ...
+
+    def suspect_permanently(self, monitored: int, delay: float = 0.0) -> None:
+        """Make every monitor suspect ``monitored`` permanently after ``delay``."""
+        ...
+
+    def suspect_during(
+        self,
+        target: int,
+        start: float,
+        duration: float,
+        monitors: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``."""
+        ...
+
+
+@runtime_checkable
+class FaultInjectable(Protocol):
+    """Capability protocol fault schedules compile against.
+
+    :meth:`repro.scenarios.faults.FaultSchedule.apply` only needs these
+    members, so schedules run against a :class:`repro.system.BroadcastSystem`
+    -- or against any test double providing the same capabilities -- without
+    touching failure detector internals.
+    """
+
+    #: The system configuration (churn generators read ``n``, ``seed`` and
+    #: the ``f < n/2`` bound from it).
+    config: "SystemConfig"
+
+    def crash(self, pid: int) -> None:
+        """Crash process ``pid`` at the current simulation time."""
+        ...
+
+    def crash_at(self, time: float, pid: int) -> None:
+        """Schedule the crash of ``pid`` at ``time``."""
+        ...
+
+    def recover(self, pid: int) -> None:
+        """Recover process ``pid`` at the current simulation time."""
+        ...
+
+    def recover_at(self, time: float, pid: int) -> None:
+        """Schedule the recovery of ``pid`` at ``time``."""
+        ...
+
+    def suspect_permanently(self, pid: int, delay: float = 0.0) -> None:
+        """Make every failure detector suspect ``pid`` permanently."""
+        ...
+
+    def suspect_permanently_at(self, time: float, pid: int) -> None:
+        """Schedule :meth:`suspect_permanently` of ``pid`` at ``time``."""
+        ...
+
+    def suspect_during(
+        self,
+        target: int,
+        start: float,
+        duration: float,
+        monitors: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``."""
+        ...
+
+
+def describe_stack(spec: StackSpec) -> Dict[str, Any]:
+    """A JSON-friendly view of a stack descriptor (for CLIs and tooling)."""
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "uses_membership": spec.uses_membership,
+        "default_fd_kind": spec.default_fd_kind,
+    }

@@ -1,43 +1,60 @@
 """System builder: wires a complete simulated atomic broadcast system.
 
 :class:`BroadcastSystem` assembles the simulation kernel, the contention
-network, the processes, the failure detectors and one of the two atomic
-broadcast protocol stacks:
+network, the processes, the failure detectors and one protocol stack
+resolved through the **stack registry** (:mod:`repro.stacks`):
 
 * ``"fd"``            -- reliable broadcast + consensus + Chandra-Toueg atomic
   broadcast (the *FD algorithm*),
 * ``"gm"``            -- reliable broadcast + consensus + group membership +
   fixed-sequencer uniform atomic broadcast (the *GM algorithm*),
 * ``"gm-nonuniform"`` -- the non-uniform variant of the GM algorithm
-  (extension discussed in Section 8 of the paper).
+  (extension discussed in Section 8 of the paper),
+
+each combinable with any registered failure detector kind (``"qos"``,
+``"heartbeat"``, ``"perfect"``) -- either via ``fd_kind=`` or a slash-
+qualified stack name such as ``"fd/heartbeat"``.  User-registered stacks
+and fd kinds (:func:`repro.stacks.register_stack`,
+:func:`repro.stacks.register_fd_kind`) assemble through exactly the same
+path; there is no privileged built-in wiring.
 
 This is the main entry point of the library: workload generators, scenarios,
 benchmarks and the example applications all operate on a
-:class:`BroadcastSystem`.
+:class:`BroadcastSystem`, which satisfies the
+:class:`repro.stacks.FaultInjectable` capability protocol fault schedules
+compile against.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.consensus import ConsensusService
-from repro.core.fd_broadcast import FDAtomicBroadcast
 from repro.core.group_membership import GroupMembership
 from repro.core.reliable_broadcast import ReliableBroadcast
-from repro.core.sequencer_broadcast import SequencerAtomicBroadcast
 from repro.core.types import AtomicBroadcast, BroadcastID
-from repro.failure_detectors.qos import QoSConfig, QoSFailureDetectorFabric
+from repro.failure_detectors.heartbeat import HeartbeatConfig
+from repro.failure_detectors.qos import QoSConfig
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.process import SimProcess
 from repro.sim.rng import RandomStreams
+from repro.stacks import registry as stack_registry
+from repro.stacks.api import FailureDetectorFabric, StackSpec
 
-#: Supported algorithm identifiers.
+#: Deprecated alias of :func:`repro.stacks.available_stacks`, kept because the
+#: seed API exposed it; the registry is the source of truth now.
 ALGORITHMS = ("fd", "gm", "gm-nonuniform")
 
+_DEPRECATED_ALGORITHM = (
+    "SystemConfig(algorithm=...) is deprecated; use stack= (and fd_kind= for "
+    "the failure detector variant) instead"
+)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class SystemConfig:
     """Configuration of a simulated atomic broadcast system.
 
@@ -45,8 +62,16 @@ class SystemConfig:
     ----------
     n:
         Number of processes.
-    algorithm:
-        ``"fd"``, ``"gm"`` or ``"gm-nonuniform"``.
+    stack:
+        Name of the protocol stack in the registry (``"fd"``, ``"gm"``,
+        ``"gm-nonuniform"``, or any user-registered stack).  A slash-
+        qualified name (``"fd/heartbeat"``) selects a failure detector kind
+        at the same time and is normalised: ``stack`` stores the base name,
+        ``fd_kind`` the variant.
+    fd_kind:
+        Failure detector kind (``"qos"``, ``"heartbeat"``, ``"perfect"``,
+        or any user-registered kind).  Defaults to the stack's
+        ``default_fd_kind`` (``"qos"`` for all built-in stacks).
     lambda_cpu:
         The ``lambda`` parameter of the network model (CPU cost of sending or
         receiving one message, in network-time units).  The paper's published
@@ -57,52 +82,114 @@ class SystemConfig:
     seed:
         Root seed of all random streams of the run.
     fd:
-        Quality-of-service parameters of the failure detectors.
+        Quality-of-service parameters of the clock-driven failure detectors
+        (``fd_kind="qos"`` reads all of it, ``"perfect"`` only the
+        detection time, ``"heartbeat"`` ignores it).
+    heartbeat:
+        Parameters of the message-based heartbeat detector
+        (``fd_kind="heartbeat"`` only).
     renumber_coordinators:
         Enable the coordinator re-numbering optimisation of the FD algorithm.
     join_retry_interval:
         Retry period of the join protocol of wrongly excluded processes
-        (GM algorithm only).
+        (GM stacks only).
     pipeline_depth:
         How many ordering rounds (consensus instances / sequencer batches)
-        may be in flight at once.  The same value is applied to both
-        algorithms so that their message patterns stay identical in
-        suspicion-free runs; 1 gives the strictly sequential textbook
-        behaviour.
+        may be in flight at once.  The same value is applied to every stack
+        so that their message patterns stay identical in suspicion-free
+        runs; 1 gives the strictly sequential textbook behaviour.
+
+    The keyword ``algorithm=`` is accepted as a **deprecated alias** of
+    ``stack=`` (it emits a :class:`DeprecationWarning` once, at
+    construction) so seed-era call sites keep working; reading
+    ``config.algorithm`` returns the stack name.
     """
 
     n: int = 3
-    algorithm: str = "fd"
+    stack: str = "fd"
+    fd_kind: str = "qos"
     lambda_cpu: float = 1.0
     network_time: float = 1.0
     seed: int = 1
     fd: QoSConfig = field(default_factory=QoSConfig)
+    heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
     renumber_coordinators: bool = True
     join_retry_interval: float = 500.0
     pipeline_depth: int = 2
 
-    def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
-            )
-        if self.n < 1:
-            raise ValueError(f"n must be >= 1, got {self.n}")
+    def __init__(
+        self,
+        n: int = 3,
+        stack: Optional[str] = None,
+        fd_kind: Optional[str] = None,
+        lambda_cpu: float = 1.0,
+        network_time: float = 1.0,
+        seed: int = 1,
+        fd: Optional[QoSConfig] = None,
+        heartbeat: Optional[HeartbeatConfig] = None,
+        renumber_coordinators: bool = True,
+        join_retry_interval: float = 500.0,
+        pipeline_depth: int = 2,
+        algorithm: Optional[str] = None,
+    ) -> None:
+        if algorithm is not None:
+            warnings.warn(_DEPRECATED_ALGORITHM, DeprecationWarning, stacklevel=2)
+            if stack is not None and stack != algorithm:
+                raise ValueError(
+                    f"conflicting stack selection: stack={stack!r} vs "
+                    f"deprecated algorithm={algorithm!r}"
+                )
+            stack = algorithm
+        if stack is None:
+            stack = "fd"
+        # Validates both names and folds "fd/heartbeat"-style variants.
+        spec, resolved_kind = stack_registry.resolve(stack, fd_kind)
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        set_field = object.__setattr__
+        set_field(self, "n", n)
+        set_field(self, "stack", spec.name)
+        set_field(self, "fd_kind", resolved_kind)
+        set_field(self, "lambda_cpu", lambda_cpu)
+        set_field(self, "network_time", network_time)
+        set_field(self, "seed", seed)
+        set_field(self, "fd", fd if fd is not None else QoSConfig())
+        set_field(self, "heartbeat", heartbeat if heartbeat is not None else HeartbeatConfig())
+        set_field(self, "renumber_coordinators", renumber_coordinators)
+        set_field(self, "join_retry_interval", join_retry_interval)
+        set_field(self, "pipeline_depth", pipeline_depth)
+
+    @property
+    def algorithm(self) -> str:
+        """Deprecated read alias of :attr:`stack` (the seed-era field name)."""
+        return self.stack
+
+    @property
+    def stack_label(self) -> str:
+        """The stack name, qualified with the fd kind when non-default."""
+        if self.fd_kind == stack_registry.get_stack(self.stack).default_fd_kind:
+            return self.stack
+        return f"{self.stack}/{self.fd_kind}"
+
+    def stack_spec(self) -> StackSpec:
+        """The registry descriptor this configuration resolves to."""
+        return stack_registry.get_stack(self.stack)
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """A copy of this configuration with a different seed."""
         return replace(self, seed=seed)
 
     def max_tolerated_crashes(self) -> int:
-        """The ``f < n/2`` bound both algorithms share."""
+        """The ``f < n/2`` bound all built-in stacks share."""
         return (self.n - 1) // 2
 
 
 class BroadcastSystem:
-    """A fully wired simulated system running one atomic broadcast algorithm."""
+    """A fully wired simulated system running one registered protocol stack."""
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self.stack_spec = config.stack_spec()
         self.sim = Simulator()
         self.rng = RandomStreams(config.seed)
         self.network = Network(
@@ -113,7 +200,9 @@ class BroadcastSystem:
                 network_time=config.network_time,
             ),
         )
-        self.fd_fabric = QoSFailureDetectorFabric(self.sim, self.network, self.rng, config.fd)
+        self.fd_fabric: FailureDetectorFabric = stack_registry.create_fd_fabric(
+            config.fd_kind, self.sim, self.network, self.rng, config
+        )
         self.processes: List[SimProcess] = []
         self.abcasts: List[AtomicBroadcast] = []
         self.rbcasts: List[ReliableBroadcast] = []
@@ -125,36 +214,25 @@ class BroadcastSystem:
     # ------------------------------------------------------------------ construction
 
     def _build(self) -> None:
+        """Assemble every process through the stack's registered layer factory.
+
+        The per-process order -- process, failure detector, reliable
+        broadcast, consensus, then the stack's layers -- is part of the
+        stack contract: golden-value tests pin it down because it fixes the
+        random-stream and listener-registration order of a run.
+        """
         for pid in range(self.config.n):
             process = SimProcess(self.sim, self.network, pid)
-            process.failure_detector = self.fd_fabric.detector(pid)
+            process.failure_detector = self.fd_fabric.attach(process)
             rbcast = ReliableBroadcast(process)
             consensus = ConsensusService(process, rbcast)
-            if self.config.algorithm == "fd":
-                abcast: AtomicBroadcast = FDAtomicBroadcast(
-                    process,
-                    rbcast,
-                    consensus,
-                    renumber_coordinators=self.config.renumber_coordinators,
-                    pipeline_depth=self.config.pipeline_depth,
-                )
-            else:
-                membership = GroupMembership(
-                    process,
-                    consensus,
-                    join_retry_interval=self.config.join_retry_interval,
-                )
-                abcast = SequencerAtomicBroadcast(
-                    process,
-                    membership,
-                    uniform=(self.config.algorithm == "gm"),
-                    pipeline_depth=self.config.pipeline_depth,
-                )
-                self.memberships.append(membership)
+            layers = self.stack_spec.build(self, process, rbcast, consensus)
+            if layers.membership is not None:
+                self.memberships.append(layers.membership)
             self.processes.append(process)
             self.rbcasts.append(rbcast)
             self.consensus_services.append(consensus)
-            self.abcasts.append(abcast)
+            self.abcasts.append(layers.abcast)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -183,9 +261,11 @@ class BroadcastSystem:
         return self.abcasts[pid]
 
     def membership(self, pid: int) -> GroupMembership:
-        """The group membership component of ``pid`` (GM algorithm only)."""
-        if self.config.algorithm == "fd":
-            raise ValueError("the FD algorithm has no group membership service")
+        """The group membership component of ``pid`` (GM stacks only)."""
+        if not self.stack_spec.uses_membership:
+            raise ValueError(
+                f"the {self.config.stack!r} stack has no group membership service"
+            )
         return self.memberships[pid]
 
     def broadcast(self, sender: int, payload: Any) -> BroadcastID:
@@ -195,6 +275,12 @@ class BroadcastSystem:
     def broadcast_at(self, time: float, sender: int, payload: Any) -> None:
         """Schedule an A-broadcast of ``payload`` by ``sender`` at ``time``."""
         self.sim.schedule_at(time, self.abcasts[sender].broadcast, payload)
+
+    # ------------------------------------------------------------------ fault injection
+    #
+    # Together these satisfy the :class:`repro.stacks.FaultInjectable`
+    # capability protocol: fault schedules compile against them instead of
+    # reaching into the failure detector fabric.
 
     def crash(self, pid: int) -> None:
         """Crash process ``pid`` at the current simulation time."""
@@ -208,8 +294,8 @@ class BroadcastSystem:
         """Recover process ``pid`` at the current simulation time.
 
         The process comes back with its pre-crash protocol state and
-        reconciles with the group: under the FD algorithm it requests the
-        consensus decisions it missed from its peers; under the GM algorithms
+        reconciles with the group: under the FD stack it requests the
+        consensus decisions it missed from its peers; under the GM stacks
         it restarts the join protocol and is re-admitted through a view
         change with a state transfer.
         """
@@ -218,6 +304,24 @@ class BroadcastSystem:
     def recover_at(self, time: float, pid: int) -> None:
         """Schedule the recovery of ``pid`` at ``time``."""
         self.sim.schedule_at(time, self.processes[pid].recover)
+
+    def suspect_permanently(self, pid: int, delay: float = 0.0) -> None:
+        """Make every failure detector suspect ``pid`` permanently."""
+        self.fd_fabric.suspect_permanently(pid, delay)
+
+    def suspect_permanently_at(self, time: float, pid: int) -> None:
+        """Schedule :meth:`suspect_permanently` of ``pid`` at ``time``."""
+        self.sim.schedule_at(time, self.fd_fabric.suspect_permanently, pid)
+
+    def suspect_during(
+        self,
+        target: int,
+        start: float,
+        duration: float,
+        monitors: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Force a wrong suspicion of ``target`` during ``[start, start + duration]``."""
+        self.fd_fabric.suspect_during(target, start, duration, monitors=monitors)
 
     def correct_processes(self) -> List[int]:
         """Ids of processes that have not crashed."""
@@ -242,9 +346,25 @@ class BroadcastSystem:
 
 
 def build_system(config: Optional[SystemConfig] = None, **overrides: Any) -> BroadcastSystem:
-    """Convenience constructor: ``build_system(n=5, algorithm="gm", seed=7)``."""
+    """Convenience constructor: ``build_system(n=5, stack="gm", seed=7)``."""
     if config is None:
         config = SystemConfig(**overrides)
     elif overrides:
+        if "algorithm" in overrides:
+            warnings.warn(_DEPRECATED_ALGORITHM, DeprecationWarning, stacklevel=2)
+            overrides.setdefault("stack", overrides.pop("algorithm"))
+        stack_override = overrides.get("stack")
+        if stack_override:
+            # Fold a slash-qualified override ("fd/heartbeat") into the two
+            # fields, since replace() re-passes the existing fd_kind.
+            base, embedded = stack_registry.split_stack(stack_override)
+            if embedded is not None:
+                if overrides.get("fd_kind", embedded) != embedded:
+                    raise ValueError(
+                        f"conflicting failure detector selection: stack "
+                        f"{stack_override!r} vs fd_kind={overrides['fd_kind']!r}"
+                    )
+                overrides["stack"] = base
+                overrides["fd_kind"] = embedded
         config = replace(config, **overrides)
     return BroadcastSystem(config)

@@ -62,7 +62,7 @@ class TestModelAgainstSimulator:
     @pytest.mark.parametrize("lambda_cpu", [0.5, 1.0, 2.0])
     def test_isolated_broadcast_latency_matches_prediction(self, algorithm, lambda_cpu):
         system = build_system(
-            SystemConfig(n=3, algorithm=algorithm, seed=3, lambda_cpu=lambda_cpu)
+            SystemConfig(n=3, stack=algorithm, seed=3, lambda_cpu=lambda_cpu)
         )
         recorder = LatencyRecorder()
         recorder.attach(system)
@@ -76,11 +76,11 @@ class TestModelAgainstSimulator:
     def test_prediction_is_lower_bound_under_load(self):
         from repro.scenarios.steady import run_normal_steady
 
-        result = run_normal_steady(SystemConfig(n=3, algorithm="fd", seed=3), 300, num_messages=80)
+        result = run_normal_steady(SystemConfig(n=3, stack="fd", seed=3), 300, num_messages=80)
         assert result.mean_latency >= predicted_latency(3)
 
     def test_message_count_matches_simulated_run(self):
-        system = build_system(SystemConfig(n=3, algorithm="fd", seed=3))
+        system = build_system(SystemConfig(n=3, stack="fd", seed=3))
         system.start()
         system.broadcast_at(10.0, 1, "solo")
         system.run(until=1_000.0)

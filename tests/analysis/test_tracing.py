@@ -7,7 +7,7 @@ from repro.analysis.tracing import DeliveryTraceRecorder, MessageTraceRecorder
 
 
 def traced_run(algorithm="fd", arrivals=((1.0, 0, "a"), (4.0, 1, "b")), **kwargs):
-    system = build_system(SystemConfig(n=3, algorithm=algorithm, seed=5))
+    system = build_system(SystemConfig(n=3, stack=algorithm, seed=5))
     messages = MessageTraceRecorder(system, **kwargs)
     deliveries = DeliveryTraceRecorder(system)
     system.start()
@@ -44,7 +44,7 @@ class TestMessageTraceRecorder:
         assert set(messages.counts_by_protocol()) == {"consensus"}
 
     def test_detach_stops_recording(self):
-        system = build_system(SystemConfig(n=3, algorithm="fd", seed=5))
+        system = build_system(SystemConfig(n=3, stack="fd", seed=5))
         recorder = MessageTraceRecorder(system)
         recorder.detach()
         system.start()

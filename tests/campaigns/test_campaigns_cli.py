@@ -87,6 +87,85 @@ class TestCampaignsCLI:
         assert "(0 simulated, 2 from cache)" in second
         assert first.splitlines()[1:] == second.splitlines()[1:]
 
+    def test_stack_and_fd_flags_run_heartbeat_churn_resumably(self, tmp_path, capsys):
+        """The acceptance scenario: a heartbeat-FD stack, unreachable before
+        the registry redesign, sweeps churn end-to-end through the cache."""
+        argv = [
+            "--scenario",
+            "churn-steady",
+            "--stack",
+            "fd",
+            "--fd",
+            "heartbeat",
+            "--n",
+            "3",
+            "--throughputs",
+            "25",
+            "--messages",
+            "10",
+            "--churn-rate",
+            "2",
+            "--downtime",
+            "100",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(1 simulated, 0 from cache)" in first
+        assert "fd/heartbeat" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 simulated, 1 from cache)" in second
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    def test_fd_axis_sweeps_kinds_across_stacks(self, capsys):
+        assert (
+            main(
+                [
+                    "--scenario",
+                    "normal-steady",
+                    "--stack",
+                    "fd",
+                    "--fd",
+                    "qos",
+                    "perfect",
+                    "--n",
+                    "3",
+                    "--throughputs",
+                    "25",
+                    "--messages",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "series: fd, n=3" in out
+        assert "series: fd/perfect, n=3" in out
+
+    def test_algorithms_alias_still_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "--scenario",
+                    "normal-steady",
+                    "--algorithms",
+                    "fd",
+                    "--throughputs",
+                    "25",
+                    "--messages",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        assert "normal-steady" in capsys.readouterr().out
+
+    def test_conflicting_stack_and_algorithms_flags_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--stack", "fd", "--algorithms", "gm"])
+
     def test_scenario_alias_resolves(self, capsys):
         assert (
             main(

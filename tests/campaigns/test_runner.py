@@ -14,7 +14,7 @@ from repro.campaigns.store import ResultStore
 
 def tiny_campaign(**kwargs):
     defaults = dict(
-        algorithms=("fd",),
+        stacks=("fd",),
         n_values=(3,),
         throughputs=(20.0, 60.0),
         num_messages=15,
@@ -115,7 +115,7 @@ class TestCampaignRunner:
     def test_serial_and_parallel_identical_for_churn_points(self):
         campaign = grid(
             "churn-steady",
-            algorithms=("fd", "gm"),
+            stacks=("fd", "gm"),
             n_values=(3,),
             throughputs=(25.0,),
             num_messages=10,

@@ -27,18 +27,47 @@ class TestPointSpec:
             PointSpec(kind="normal-steady", throughput=20.0, num_messages=50),
             PointSpec(kind="normal-steady", throughput=10.0, num_messages=60),
             PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, seed=2),
-            PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, algorithm="gm"),
+            PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, stack="gm"),
             PointSpec(kind="normal-steady", throughput=10.0, num_messages=50, n=5),
+            PointSpec(
+                kind="normal-steady", throughput=10.0, num_messages=50, fd_kind="heartbeat"
+            ),
         ]
         keys = {point.key() for point in variants}
         assert base.key() not in keys
         assert len(keys) == len(variants)
 
-    def test_invalid_kind_and_algorithm_rejected(self):
+    def test_invalid_kind_stack_and_fd_kind_rejected(self):
         with pytest.raises(ValueError):
             PointSpec(kind="nope")
-        with pytest.raises(ValueError):
-            PointSpec(kind="normal-steady", algorithm="nope")
+        with pytest.raises(ValueError, match="unknown stack"):
+            PointSpec(kind="normal-steady", stack="nope")
+        with pytest.raises(ValueError, match="unknown fd kind"):
+            PointSpec(kind="normal-steady", fd_kind="nope")
+
+    def test_deprecated_algorithm_alias_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning):
+            point = PointSpec(kind="normal-steady", algorithm="gm")
+        assert point.stack == "gm"
+        assert point.key() == PointSpec(kind="normal-steady", stack="gm").key()
+
+    def test_slash_stack_normalises_into_both_fields(self):
+        a = PointSpec(kind="churn-steady", stack="fd/heartbeat", churn_rate=1, mean_downtime=100)
+        b = PointSpec(
+            kind="churn-steady", stack="fd", fd_kind="heartbeat", churn_rate=1, mean_downtime=100
+        )
+        assert (a.stack, a.fd_kind) == ("fd", "heartbeat")
+        assert a.key() == b.key()
+
+    def test_qos_only_kinds_reject_other_fd_kinds(self):
+        with pytest.raises(ValueError, match="fd_kind"):
+            PointSpec(
+                kind="suspicion-steady", fd_kind="heartbeat", mistake_recurrence_time=100.0
+            )
+        with pytest.raises(ValueError, match="fd_kind"):
+            PointSpec(
+                kind="asymmetric-qos", fd_kind="perfect", mistake_recurrence_time=100.0
+            )
 
     def test_kind_specific_validation(self):
         with pytest.raises(ValueError):
@@ -65,13 +94,15 @@ class TestPointSpec:
     def test_config_round_trip(self):
         point = PointSpec(
             kind="normal-steady",
-            algorithm="gm",
+            stack="gm",
+            fd_kind="perfect",
             n=5,
             seed=9,
             config_overrides=(("lambda_cpu", 2.0),),
         )
         config = point.config()
-        assert (config.n, config.algorithm, config.seed, config.lambda_cpu) == (5, "gm", 9, 2.0)
+        assert (config.n, config.stack, config.fd_kind) == (5, "gm", "perfect")
+        assert (config.seed, config.lambda_cpu) == (9, 2.0)
 
 
 class TestSeedDerivation:
@@ -114,28 +145,57 @@ class TestGrid:
     def test_cartesian_product_shape(self):
         campaign = grid(
             "normal-steady",
-            algorithms=("fd", "gm"),
+            stacks=("fd", "gm"),
             n_values=(3, 7),
             throughputs=(10.0, 50.0),
             seeds=(1, 2),
             num_messages=30,
         )
-        assert len(campaign.series) == 4  # (algorithm, n) pairs
+        assert len(campaign.series) == 4  # (stack, n) pairs
         assert all(len(series.points) == 2 for series in campaign.series)
-        assert len(campaign.points()) == 16  # 2 algs * 2 n * 2 T * 2 seeds
+        assert len(campaign.points()) == 16  # 2 stacks * 2 n * 2 T * 2 seeds
+
+    def test_fd_kinds_axis_crosses_every_stack(self):
+        campaign = grid(
+            "churn-steady",
+            stacks=("fd", "gm"),
+            fd_kinds=("qos", "heartbeat"),
+            throughputs=(10.0,),
+        )
+        labels = [series.label for series in campaign.series]
+        assert labels == ["fd, n=3", "fd/heartbeat, n=3", "gm, n=3", "gm/heartbeat, n=3"]
+        assert {point.fd_kind for point in campaign.points()} == {"qos", "heartbeat"}
+
+    def test_slash_stacks_deduplicate_against_fd_kind_axis(self):
+        campaign = grid(
+            "normal-steady", stacks=("fd/heartbeat",), fd_kinds=(None, "heartbeat"),
+            throughputs=(10.0,),
+        )
+        assert [series.label for series in campaign.series] == ["fd/heartbeat, n=3"]
+
+    def test_explicit_qos_conflicting_with_slash_stack_raises(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            PointSpec(kind="normal-steady", stack="fd/heartbeat", fd_kind="qos")
+        with pytest.raises(ValueError, match="conflicting"):
+            grid("normal-steady", stacks=("fd/heartbeat",), fd_kinds=("qos",))
+
+    def test_deprecated_algorithms_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning):
+            campaign = grid("normal-steady", algorithms=("fd",), throughputs=(10.0,))
+        assert campaign.series[0].params["stack"] == "fd"
 
     def test_crash_steady_respects_crash_bound(self):
         with pytest.raises(ValueError):
             grid("crash-steady", n_values=(3,), crashes=2)
 
     def test_crash_steady_selects_highest_pids(self):
-        campaign = grid("crash-steady", n_values=(7,), crashes=2, algorithms=("fd",))
+        campaign = grid("crash-steady", n_values=(7,), crashes=2, stacks=("fd",))
         point = campaign.points()[0]
         assert point.crashed == (5, 6)
 
     def test_duplicate_seeds_are_dropped(self):
         campaign = grid(
-            "normal-steady", algorithms=("fd",), throughputs=(10.0,), seeds=(1, 1, 2)
+            "normal-steady", stacks=("fd",), throughputs=(10.0,), seeds=(1, 1, 2)
         )
         series_point = campaign.series[0].points[0]
         assert [point.seed for point in series_point.points] == [1, 2]
@@ -144,3 +204,18 @@ class TestGrid:
         point = PointSpec(kind="normal-steady", throughput=float("nan"))
         with pytest.raises(ValueError):
             point.key()
+
+
+class TestFdKindGuards:
+    def test_crash_transient_rejects_heartbeat_fd(self):
+        with pytest.raises(ValueError, match="period \\+ timeout"):
+            PointSpec(kind="crash-transient", fd_kind="heartbeat")
+
+    def test_grid_conflicting_slash_stack_and_fd_kind_raises(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            grid("normal-steady", stacks=("fd/heartbeat",), fd_kinds=("perfect",))
+
+    def test_alias_conflicting_with_explicit_stack_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting"):
+                PointSpec(kind="normal-steady", stack="fd", algorithm="gm")

@@ -45,7 +45,7 @@ class TestResultStore:
         from repro.campaigns.spec import grid
 
         campaign = grid(
-            "normal-steady", algorithms=("fd",), throughputs=(25.0,), num_messages=10
+            "normal-steady", stacks=("fd",), throughputs=(25.0,), num_messages=10
         )
         CampaignRunner(store=ResultStore(str(tmp_path))).run(campaign)
         with open(ResultStore(str(tmp_path)).path, encoding="utf-8") as handle:

@@ -108,4 +108,4 @@ def any_algorithm(request) -> str:
 @pytest.fixture
 def small_system(algorithm) -> BroadcastSystem:
     """A three-process system running the parametrised algorithm."""
-    return build_system(SystemConfig(n=3, algorithm=algorithm, seed=7))
+    return build_system(SystemConfig(n=3, stack=algorithm, seed=7))

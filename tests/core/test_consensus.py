@@ -232,3 +232,67 @@ class TestInstanceInternals:
         harness = ConsensusHarness(n=5)
         instance = ConsensusInstance(harness.services[0], "c", "v", [0, 1, 2, 3, 4])
         assert instance.majority == 3
+
+
+class TestCatchUpRoundSkipping:
+    """Regression: the catch-up rule must feed the coordinators it jumps over.
+
+    Found by hypothesis on a GM run (n=5, one real crash plus wrong
+    suspicions): processes that jumped several rounds forward never sent
+    their estimates to the skipped rounds' coordinators, and the run ended
+    with every alive process parked as the coordinator of a *different*
+    round, each waiting for a majority of estimates that could no longer
+    arrive -- no process ever suspects itself, so no failure detector event
+    could unpark them and the view-change consensus deadlocked permanently.
+    """
+
+    SCENARIO = {
+        "seed": 2552,
+        "arrivals": [
+            (7.6200076685013265, 1, "m0"),
+            (36.96037530022315, 4, "m1"),
+            (61.16621654725308, 4, "m2"),
+            (71.16621654725307, 2, "m3"),
+            (89.99733425605031, 0, "m4"),
+            (119.99733425605031, 0, "m5"),
+            (122.86190701016642, 0, "m6"),
+        ],
+    }
+
+    def test_gm_view_change_survives_divergent_round_skips(self):
+        from repro import SystemConfig, build_system
+
+        system = build_system(
+            SystemConfig(
+                n=5,
+                stack="gm",
+                seed=self.SCENARIO["seed"],
+                fd=QoSConfig(
+                    detection_time=30.0,
+                    mistake_recurrence_time=150.0,
+                    mistake_duration=30.0,
+                ),
+            )
+        )
+        system.start()
+        for time, sender, payload in self.SCENARIO["arrivals"]:
+            system.broadcast_at(time, sender, payload)
+        system.crash_at(100.0, 1)
+        system.run(until=60_000.0, max_events=1_500_000)
+
+        required = {"m2", "m3", "m4", "m5", "m6"}  # everything a correct sender sent
+        for pid in (0, 2, 3, 4):
+            delivered = {payload for _bid, payload in system.abcast(pid).delivered}
+            assert required <= delivered, f"p{pid} stalled: {sorted(delivered)}"
+        # the crashed process was excluded and the wrongly excluded one re-admitted
+        for pid in (0, 2, 3, 4):
+            members = system.membership(pid).view.members
+            assert 1 not in members and 0 in members
+
+    def test_skipping_processes_nack_the_rounds_they_jump(self):
+        harness = ConsensusHarness(n=3)
+        instance = ConsensusInstance(harness.services[0], "c", "v", [0, 1, 2])
+        instance.round = 1
+        instance._skip_rounds(2, 5)
+        # rounds 2 and 3 have other coordinators (1, 2); round 4 is our own
+        assert instance._nacked_round == {2, 3}

@@ -7,7 +7,7 @@ from tests.conftest import assert_no_duplicates, assert_prefix_consistent
 
 
 def fd_system(n=3, seed=11, **overrides):
-    return build_system(SystemConfig(n=n, algorithm="fd", seed=seed, **overrides))
+    return build_system(SystemConfig(n=n, stack="fd", seed=seed, **overrides))
 
 
 class TestDelivery:

@@ -6,7 +6,7 @@ from repro.core.group_membership import EXCLUDED, JOINING, MEMBER
 
 
 def gm_system(n=3, seed=17, **overrides):
-    return build_system(SystemConfig(n=n, algorithm="gm", seed=seed, **overrides))
+    return build_system(SystemConfig(n=n, stack="gm", seed=seed, **overrides))
 
 
 class TestInitialView:

@@ -8,7 +8,7 @@ from repro.failure_detectors.qos import QoSConfig
 def make_system(algorithm, n=3, seed=5, detection_time=10.0, **overrides):
     config = SystemConfig(
         n=n,
-        algorithm=algorithm,
+        stack=algorithm,
         seed=seed,
         fd=QoSConfig(detection_time=detection_time),
         **overrides,
@@ -173,7 +173,7 @@ class TestFailureDetectorRecovery:
         # lingering suspicion could only be the cancelled window).
         config = SystemConfig(
             n=3,
-            algorithm="fd",
+            stack="fd",
             seed=7,
             fd=QoSConfig(
                 detection_time=5.0,
@@ -195,7 +195,7 @@ class TestFailureDetectorRecovery:
     def test_mistake_generation_resumes_after_recovery(self):
         config = SystemConfig(
             n=3,
-            algorithm="fd",
+            stack="fd",
             seed=9,
             fd=QoSConfig(
                 detection_time=5.0,
@@ -216,7 +216,7 @@ class TestFailureDetectorRecovery:
 class TestPairOverrides:
     def test_only_the_flaky_pair_makes_mistakes(self):
         fd = QoSConfig().with_pair(1, 0, mistake_recurrence_time=50.0, mistake_duration=1.0)
-        config = SystemConfig(n=3, algorithm="fd", seed=9, fd=fd)
+        config = SystemConfig(n=3, stack="fd", seed=9, fd=fd)
         system = build_system(config)
         system.start()
         system.run(until=5000.0, max_events=300_000)
@@ -247,7 +247,7 @@ class TestPairOverrides:
     def test_per_pair_detection_time(self):
         config = SystemConfig(
             n=3,
-            algorithm="fd",
+            stack="fd",
             seed=9,
             fd=QoSConfig(detection_time=10.0).with_pair(1, 2, detection_time=100.0),
         )

@@ -7,7 +7,7 @@ from tests.conftest import assert_no_duplicates, assert_prefix_consistent
 
 
 def gm_system(n=3, seed=13, algorithm="gm", **overrides):
-    return build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides))
+    return build_system(SystemConfig(n=n, stack=algorithm, seed=seed, **overrides))
 
 
 class TestNormalOperation:

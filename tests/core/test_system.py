@@ -1,20 +1,30 @@
-"""Unit tests for the system builder."""
+"""Unit tests for the system builder and the stack-based configuration."""
+
+import warnings
 
 import pytest
 
-from repro import ALGORITHMS, SystemConfig, build_system
+from repro import ALGORITHMS, SystemConfig, available_stacks, build_system
+from repro.failure_detectors.heartbeat import HeartbeatFailureDetectorFabric
+from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
+from repro.failure_detectors.qos import QoSFailureDetectorFabric
 
 
 class TestSystemConfig:
     def test_defaults(self):
         config = SystemConfig()
         assert config.n == 3
-        assert config.algorithm == "fd"
+        assert config.stack == "fd"
+        assert config.fd_kind == "qos"
         assert config.lambda_cpu == 1.0
 
-    def test_unknown_algorithm_rejected(self):
-        with pytest.raises(ValueError):
-            SystemConfig(algorithm="paxos")
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError, match="unknown stack"):
+            SystemConfig(stack="paxos")
+
+    def test_unknown_fd_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fd kind"):
+            SystemConfig(fd_kind="telepathy")
 
     def test_zero_processes_rejected(self):
         with pytest.raises(ValueError):
@@ -32,32 +42,126 @@ class TestSystemConfig:
         assert SystemConfig(n=7).max_tolerated_crashes() == 3
         assert SystemConfig(n=4).max_tolerated_crashes() == 1
 
-    def test_algorithms_constant(self):
+    def test_algorithms_constant_matches_builtin_stacks(self):
         assert set(ALGORITHMS) == {"fd", "gm", "gm-nonuniform"}
+        assert set(ALGORITHMS) <= set(available_stacks())
+
+    def test_slash_stack_selects_fd_kind(self):
+        config = SystemConfig(stack="fd/heartbeat")
+        assert config.stack == "fd"
+        assert config.fd_kind == "heartbeat"
+        assert config.stack_label == "fd/heartbeat"
+
+    def test_slash_stack_conflicting_fd_kind_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            SystemConfig(stack="fd/heartbeat", fd_kind="perfect")
+
+    def test_stack_label_default_kind_is_bare(self):
+        assert SystemConfig(stack="gm").stack_label == "gm"
+        assert SystemConfig(stack="gm", fd_kind="perfect").stack_label == "gm/perfect"
+
+    def test_normalised_selections_compare_equal(self):
+        assert SystemConfig(stack="fd/perfect") == SystemConfig(stack="fd", fd_kind="perfect")
+
+
+class TestDeprecatedAlgorithmAlias:
+    def test_algorithm_kwarg_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = SystemConfig(n=3, algorithm="gm")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert config.stack == "gm"
+
+    def test_replacing_an_aliased_config_does_not_rewarn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = SystemConfig(n=3, algorithm="gm")
+            config.with_seed(5)
+            build_system(config, seed=9)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+    def test_algorithm_property_reads_back_the_stack(self):
+        assert SystemConfig(stack="gm-nonuniform").algorithm == "gm-nonuniform"
+
+    def test_conflicting_stack_and_algorithm_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="conflicting"):
+                SystemConfig(stack="fd", algorithm="gm")
+
+    def test_unknown_algorithm_still_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="unknown stack"):
+                SystemConfig(algorithm="paxos")
+
+    def test_build_system_algorithm_override_maps_to_stack(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            system = build_system(SystemConfig(n=3), algorithm="gm")
+        assert system.config.stack == "gm"
+        assert any(w.category is DeprecationWarning for w in caught)
 
 
 class TestBuildSystem:
     def test_build_with_overrides(self):
-        system = build_system(n=5, algorithm="gm", seed=3)
+        system = build_system(n=5, stack="gm", seed=3)
         assert system.config.n == 5
-        assert system.config.algorithm == "gm"
+        assert system.config.stack == "gm"
 
     def test_build_with_config_and_overrides(self):
         system = build_system(SystemConfig(n=3), seed=42)
         assert system.config.seed == 42
+
+    def test_overrides_round_trip_every_axis(self):
+        base = SystemConfig()
+        system = build_system(
+            base, n=5, stack="gm-nonuniform", fd_kind="perfect", seed=11, pipeline_depth=1
+        )
+        config = system.config
+        assert (config.n, config.stack, config.fd_kind) == (5, "gm-nonuniform", "perfect")
+        assert (config.seed, config.pipeline_depth) == (11, 1)
+        # the original configuration is untouched
+        assert (base.n, base.stack, base.fd_kind, base.seed) == (3, "fd", "qos", 1)
+
+    def test_slash_stack_override_folds_into_both_fields(self):
+        system = build_system(SystemConfig(n=3), stack="fd/heartbeat")
+        assert system.config.stack == "fd"
+        assert system.config.fd_kind == "heartbeat"
+
+    def test_slash_stack_override_conflicting_fd_kind_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            build_system(SystemConfig(n=3), stack="fd/heartbeat", fd_kind="qos")
+
+    def test_fd_kind_selects_the_fabric_implementation(self):
+        assert isinstance(build_system(fd_kind="qos").fd_fabric, QoSFailureDetectorFabric)
+        assert isinstance(
+            build_system(fd_kind="heartbeat").fd_fabric, HeartbeatFailureDetectorFabric
+        )
+        assert isinstance(
+            build_system(fd_kind="perfect").fd_fabric, PerfectFailureDetectorFabric
+        )
 
     def test_every_process_has_failure_detector(self):
         system = build_system(n=4)
         for process in system.processes:
             assert process.failure_detector is not None
 
+    def test_heartbeat_processes_own_their_detector_component(self):
+        system = build_system(n=3, fd_kind="heartbeat")
+        for process in system.processes:
+            assert process.failure_detector is system.fd_fabric.detector(process.pid)
+            assert process.has_component("heartbeat-fd")
+
     def test_fd_system_has_no_membership(self):
-        system = build_system(algorithm="fd")
+        system = build_system(stack="fd")
         with pytest.raises(ValueError):
             system.membership(0)
 
     def test_gm_system_exposes_membership(self):
-        system = build_system(algorithm="gm")
+        system = build_system(stack="gm")
         assert system.membership(1).view.members == (0, 1, 2)
 
     def test_start_is_idempotent(self):
@@ -99,7 +203,7 @@ class TestBuildSystem:
 
     def test_same_seed_reproduces_exact_delivery_times(self):
         def trace(seed):
-            system = build_system(SystemConfig(n=3, algorithm="fd", seed=seed))
+            system = build_system(SystemConfig(n=3, stack="fd", seed=seed))
             system.start()
             times = []
             system.add_delivery_listener(
@@ -113,3 +217,12 @@ class TestBuildSystem:
         first = trace(5)
         assert first == trace(5)
         assert len(first) == 5 * 3
+
+    def test_every_stack_delivers_under_every_fd_kind(self):
+        for stack in ("fd", "gm", "gm-nonuniform"):
+            for fd_kind in ("qos", "heartbeat", "perfect"):
+                system = build_system(n=3, stack=stack, fd_kind=fd_kind, seed=3)
+                system.broadcast_at(1.0, 0, "x")
+                system.run(until=300.0)
+                counts = {pid: len(seq) for pid, seq in system.delivery_sequences().items()}
+                assert counts == {0: 1, 1: 1, 2: 1}, (stack, fd_kind)

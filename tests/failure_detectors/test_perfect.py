@@ -1,6 +1,10 @@
 """Unit tests for the perfect failure detector fabric."""
 
+import pytest
+
+from repro.failure_detectors.fabric import CrashDetectionFabric
 from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
+from repro.failure_detectors.qos import QoSFailureDetectorFabric
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
 
@@ -35,3 +39,62 @@ class TestPerfectFailureDetector:
         assert not fabric.detector(0).is_suspected(1)
         sim.run(until=45.0)
         assert fabric.detector(0).is_suspected(1)
+
+    def test_negative_detection_time_rejected(self):
+        with pytest.raises(ValueError):
+            build(detection_time=-1.0)
+
+
+class TestPerfectIsNotQoS:
+    """The base-class extraction: "perfect" shares the crash-detection base
+    but cannot inherit QoS mistake behaviour by accident."""
+
+    def test_shares_the_crash_detection_base(self):
+        _sim, _network, fabric = build()
+        assert isinstance(fabric, CrashDetectionFabric)
+
+    def test_is_not_a_qos_fabric_subclass(self):
+        _sim, _network, fabric = build()
+        assert not isinstance(fabric, QoSFailureDetectorFabric)
+        assert not issubclass(PerfectFailureDetectorFabric, QoSFailureDetectorFabric)
+
+    def test_has_no_mistake_machinery(self):
+        _sim, _network, fabric = build()
+        for attribute in ("_schedule_next_mistake", "_mistake_begins", "_pending"):
+            assert not hasattr(fabric, attribute)
+
+
+class TestPerfectRecovery:
+    def test_short_crash_goes_unnoticed(self):
+        sim, network, fabric = build(detection_time=40.0)
+        sim.schedule(5.0, network.crash, 1)
+        sim.schedule(10.0, network.recover, 1)
+        sim.run(until=200.0)
+        assert not fabric.detector(0).is_suspected(1)
+
+    def test_trust_restored_one_detection_time_after_recovery(self):
+        """Recovery catch-up parity with the QoS fabric."""
+        sim, network, fabric = build(detection_time=10.0)
+        sim.schedule(5.0, network.crash, 1)
+        sim.run(until=20.0)
+        assert fabric.detector(0).is_suspected(1)
+        sim.schedule_at(50.0, network.recover, 1)
+        sim.run(until=59.0)
+        assert fabric.detector(0).is_suspected(1)  # not yet: T_D after recovery
+        sim.run(until=61.0)
+        assert not fabric.detector(0).is_suspected(1)
+
+    def test_suspect_during_forces_a_window(self):
+        sim, _network, fabric = build()
+        fabric.suspect_during(0, start=10.0, duration=5.0, monitors=[1])
+        sim.run(until=12.0)
+        assert fabric.detector(1).is_suspected(0)
+        sim.run(until=20.0)
+        assert not fabric.detector(1).is_suspected(0)
+
+    def test_suspect_permanently_marks_everyone(self):
+        sim, _network, fabric = build()
+        fabric.suspect_permanently(2)
+        sim.run(until=1.0)
+        assert fabric.detector(0).is_suspected(2)
+        assert fabric.detector(1).is_suspected(2)

@@ -23,7 +23,7 @@ from tests.conftest import (
 
 
 def run_scenario(algorithm, n, seed, broadcasts, crashes=(), qos=None, until=120_000.0):
-    config = SystemConfig(n=n, algorithm=algorithm, seed=seed, fd=qos or QoSConfig())
+    config = SystemConfig(n=n, stack=algorithm, seed=seed, fd=qos or QoSConfig())
     system = build_system(config)
     system.start()
     sent = []

@@ -20,7 +20,7 @@ def message_trace(algorithm, arrivals, n=3, seed=61):
     broadcast self-delivers its decision, the GM algorithm's deliver message
     does not, and neither copy exists on the wire).
     """
-    system = build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed))
+    system = build_system(SystemConfig(n=n, stack=algorithm, seed=seed))
     trace = []
     original_send = system.network.send
 
@@ -72,7 +72,7 @@ class TestIdenticalMessagePattern:
         arrivals = ARRIVAL_PATTERNS[pattern]
 
         def delivery_times(algorithm):
-            system = build_system(SystemConfig(n=3, algorithm=algorithm, seed=61))
+            system = build_system(SystemConfig(n=3, stack=algorithm, seed=61))
             deliveries = []
             system.add_delivery_listener(
                 lambda pid, bid, payload: deliveries.append(

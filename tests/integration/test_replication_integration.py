@@ -9,7 +9,7 @@ class TestReplicatedStoreEndToEnd:
     def test_store_consistent_across_sequencer_crash_and_suspicions(self, algorithm):
         config = SystemConfig(
             n=5,
-            algorithm=algorithm,
+            stack=algorithm,
             seed=91,
             fd=QoSConfig(
                 detection_time=20.0, mistake_recurrence_time=500.0, mistake_duration=10.0
@@ -38,7 +38,7 @@ class TestReplicatedStoreEndToEnd:
         assert sum(state.values()) == 40
 
     def test_response_times_track_first_delivery(self, algorithm):
-        system = build_system(SystemConfig(n=3, algorithm=algorithm, seed=93))
+        system = build_system(SystemConfig(n=3, stack=algorithm, seed=93))
         service = ReplicatedService(system, processing_time=2.0)
         system.start()
         for i in range(10):

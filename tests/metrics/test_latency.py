@@ -69,7 +69,7 @@ class TestStandaloneRecorder:
 
 class TestAttachedRecorder:
     def test_attached_recorder_tracks_system_messages(self):
-        system = build_system(SystemConfig(n=3, algorithm="fd", seed=3))
+        system = build_system(SystemConfig(n=3, stack="fd", seed=3))
         recorder = LatencyRecorder()
         recorder.attach(system)
         system.start()

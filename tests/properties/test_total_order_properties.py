@@ -51,7 +51,7 @@ def scenarios(draw):
 
 
 def run_generated(n, algorithm, seed, arrivals, crash_plan, qos):
-    system = build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, fd=qos))
+    system = build_system(SystemConfig(n=n, stack=algorithm, seed=seed, fd=qos))
     system.start()
     for time, sender, payload in arrivals:
         system.broadcast_at(time, sender, payload)
@@ -204,7 +204,7 @@ class TestFaultScheduleProperties:
     def run_schedule(self, n, algorithm, seed, detection_time, arrivals, schedule):
         config = SystemConfig(
             n=n,
-            algorithm=algorithm,
+            stack=algorithm,
             seed=seed,
             fd=QoSConfig(detection_time=detection_time),
         )

@@ -7,7 +7,7 @@ from repro.replication.state_machine import Command
 
 
 def make_service(algorithm="fd", n=3, seed=51, **overrides):
-    system = build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides))
+    system = build_system(SystemConfig(n=n, stack=algorithm, seed=seed, **overrides))
     service = ReplicatedService(system)
     system.start()
     return system, service

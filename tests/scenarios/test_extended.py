@@ -12,7 +12,7 @@ from repro.scenarios.steady import run_normal_steady
 
 
 def config(algorithm="fd", n=5, seed=11):
-    return SystemConfig(n=n, algorithm=algorithm, seed=seed)
+    return SystemConfig(n=n, stack=algorithm, seed=seed)
 
 
 class TestCorrelatedCrash:

@@ -14,7 +14,7 @@ from repro.scenarios.faults import (
 
 
 def make_system(n=3, algorithm="fd", seed=1, **overrides):
-    return build_system(SystemConfig(n=n, algorithm=algorithm, seed=seed, **overrides))
+    return build_system(SystemConfig(n=n, stack=algorithm, seed=seed, **overrides))
 
 
 class TestEventValidation:

@@ -38,6 +38,13 @@ GOLDEN_TRANSIENT = {
 
 GOLDEN_CRASH_N7 = (15.858900609538008, 0, 365.12432269626055, 1581, "6d5bdcea3e40f72a")
 
+#: The third registered stack, captured from the pre-redesign (inline-wired)
+#: seed drivers: the registry assembly must reproduce it bit for bit too.
+GOLDEN_GM_NONUNIFORM = {
+    "normal-steady": (2.720138110780536, 0, 762.821849452246, 715, "5f5c83989982481c"),
+    "suspicion-steady": (4.8246781814549875, 0, 5182.85601135372, 3136, "98bdd4b319bb9120"),
+}
+
 
 def latency_digest(latencies):
     return hashlib.sha256(json.dumps(latencies).encode()).hexdigest()[:16]
@@ -56,13 +63,13 @@ def observed(result):
 class TestGoldenSteady:
     def test_normal_steady_matches_seed_driver(self, algorithm):
         result = run_normal_steady(
-            SystemConfig(n=3, algorithm=algorithm, seed=31), throughput=100, num_messages=60
+            SystemConfig(n=3, stack=algorithm, seed=31), throughput=100, num_messages=60
         )
         assert observed(result) == GOLDEN_STEADY[("normal-steady", algorithm)]
 
     def test_crash_steady_matches_seed_driver(self, algorithm):
         result = run_crash_steady(
-            SystemConfig(n=3, algorithm=algorithm, seed=31),
+            SystemConfig(n=3, stack=algorithm, seed=31),
             throughput=100,
             crashed=[2],
             num_messages=60,
@@ -71,7 +78,7 @@ class TestGoldenSteady:
 
     def test_suspicion_steady_matches_seed_driver(self, algorithm):
         result = run_suspicion_steady(
-            SystemConfig(n=3, algorithm=algorithm, seed=31),
+            SystemConfig(n=3, stack=algorithm, seed=31),
             throughput=10,
             mistake_recurrence_time=500.0,
             mistake_duration=5.0,
@@ -81,18 +88,49 @@ class TestGoldenSteady:
 
     def test_crash_steady_n7_matches_seed_driver(self):
         result = run_crash_steady(
-            SystemConfig(n=7, algorithm="fd", seed=7),
+            SystemConfig(n=7, stack="fd", seed=7),
             throughput=100,
             crashed=[4, 5, 6],
             num_messages=40,
         )
         assert observed(result) == GOLDEN_CRASH_N7
 
+    def test_gm_nonuniform_matches_seed_driver(self):
+        normal = run_normal_steady(
+            SystemConfig(n=3, stack="gm-nonuniform", seed=31),
+            throughput=100,
+            num_messages=60,
+        )
+        assert observed(normal) == GOLDEN_GM_NONUNIFORM["normal-steady"]
+        suspicion = run_suspicion_steady(
+            SystemConfig(n=3, stack="gm-nonuniform", seed=31),
+            throughput=10,
+            mistake_recurrence_time=500.0,
+            mistake_duration=5.0,
+            num_messages=40,
+        )
+        assert observed(suspicion) == GOLDEN_GM_NONUNIFORM["suspicion-steady"]
+
+    def test_deprecated_algorithm_alias_reproduces_stack_results(self, algorithm):
+        import warnings
+
+        via_stack = run_normal_steady(
+            SystemConfig(n=3, stack=algorithm, seed=31), throughput=100, num_messages=60
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_alias = run_normal_steady(
+                SystemConfig(n=3, algorithm=algorithm, seed=31),
+                throughput=100,
+                num_messages=60,
+            )
+        assert observed(via_stack) == observed(via_alias)
+
 
 class TestGoldenTransient:
     def test_crash_transient_matches_seed_driver(self, algorithm):
         result = run_crash_transient(
-            SystemConfig(n=3, algorithm=algorithm, seed=41),
+            SystemConfig(n=3, stack=algorithm, seed=41),
             throughput=50,
             detection_time=10.0,
             num_runs=3,

@@ -11,7 +11,7 @@ from repro.scenarios.steady import (
 
 
 def config(algorithm="fd", n=3, seed=31):
-    return SystemConfig(n=n, algorithm=algorithm, seed=seed)
+    return SystemConfig(n=n, stack=algorithm, seed=seed)
 
 
 class TestNormalSteady:

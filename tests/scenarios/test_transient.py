@@ -7,7 +7,7 @@ from repro.scenarios.transient import run_crash_transient, sweep_crash_transient
 
 
 def config(algorithm="fd", n=3, seed=41):
-    return SystemConfig(n=n, algorithm=algorithm, seed=seed)
+    return SystemConfig(n=n, stack=algorithm, seed=seed)
 
 
 class TestCrashTransient:
@@ -135,3 +135,17 @@ class TestCrashTransient:
                 store=ResultStore(str(tmp_path)),
                 crash_time=100.0,
             )
+
+
+def test_heartbeat_fd_kind_rejected():
+    import pytest
+
+    from repro.system import SystemConfig
+
+    with pytest.raises(ValueError, match="period \\+ timeout"):
+        run_crash_transient(
+            SystemConfig(n=3, stack="fd", fd_kind="heartbeat", seed=41),
+            throughput=50,
+            detection_time=10.0,
+            num_runs=1,
+        )

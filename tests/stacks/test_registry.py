@@ -1,0 +1,197 @@
+"""Unit tests for the protocol-stack registry and its public protocols."""
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.stacks import (
+    FailureDetectorFabric,
+    FaultInjectable,
+    StackLayers,
+    StackSpec,
+    available_fd_kinds,
+    available_stacks,
+    get_fd_kind,
+    get_stack,
+    register_fd_kind,
+    register_stack,
+    resolve,
+    split_stack,
+    stack_variants,
+    unregister_fd_kind,
+    unregister_stack,
+)
+
+
+class TestBuiltinRegistrations:
+    def test_builtin_stacks_present(self):
+        assert available_stacks() == ("fd", "gm", "gm-nonuniform")
+
+    def test_builtin_fd_kinds_present(self):
+        assert available_fd_kinds() == ("qos", "heartbeat", "perfect")
+
+    def test_stack_variants_cross_stacks_with_fd_kinds(self):
+        variants = stack_variants()
+        assert "fd" in variants
+        assert "fd/heartbeat" in variants
+        assert "gm/perfect" in variants
+        assert "fd/qos" not in variants  # default kind is not re-listed
+
+    def test_gm_stacks_use_membership(self):
+        assert not get_stack("fd").uses_membership
+        assert get_stack("gm").uses_membership
+        assert get_stack("gm-nonuniform").uses_membership
+
+    def test_unknown_names_raise_with_candidates(self):
+        with pytest.raises(ValueError, match="expected one of"):
+            get_stack("zab")
+        with pytest.raises(ValueError, match="expected one of"):
+            get_fd_kind("oracle")
+
+
+class TestResolution:
+    def test_split_stack(self):
+        assert split_stack("fd") == ("fd", None)
+        assert split_stack("fd/heartbeat") == ("fd", "heartbeat")
+
+    def test_resolve_defaults_to_stack_fd_kind(self):
+        spec, kind = resolve("gm")
+        assert spec.name == "gm"
+        assert kind == "qos"
+
+    def test_resolve_slash_variant(self):
+        spec, kind = resolve("fd/perfect")
+        assert (spec.name, kind) == ("fd", "perfect")
+
+    def test_resolve_explicit_kind(self):
+        _, kind = resolve("fd", "heartbeat")
+        assert kind == "heartbeat"
+
+    def test_resolve_conflict_raises(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            resolve("fd/heartbeat", "perfect")
+
+    def test_resolve_unknown_embedded_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fd kind"):
+            resolve("fd/psychic")
+
+
+class TestStackSpecValidation:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            StackSpec(name="", description="x", build=lambda *a: None)
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError, match="cannot contain"):
+            StackSpec(name="fd/custom", description="x", build=lambda *a: None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_stack(get_stack("fd"))
+        with pytest.raises(ValueError, match="already registered"):
+            register_fd_kind("qos", lambda *a: None)
+
+
+class TestCustomRegistration:
+    def test_registered_stack_assembles_through_the_standard_path(self):
+        def build_echo_fd(system, process, rbcast, consensus):
+            # A custom stack reusing the FD layers: what a user extension does.
+            from repro.core.fd_broadcast import FDAtomicBroadcast
+
+            return StackLayers(
+                abcast=FDAtomicBroadcast(
+                    process,
+                    rbcast,
+                    consensus,
+                    renumber_coordinators=system.config.renumber_coordinators,
+                    pipeline_depth=system.config.pipeline_depth,
+                )
+            )
+
+        register_stack(
+            StackSpec(name="fd-custom", description="test stack", build=build_echo_fd)
+        )
+        try:
+            system = build_system(n=3, stack="fd-custom", seed=2)
+            system.broadcast_at(1.0, 0, "x")
+            system.run(until=100.0)
+            assert all(len(seq) == 1 for seq in system.delivery_sequences().values())
+            assert system.config.stack == "fd-custom"
+        finally:
+            unregister_stack("fd-custom")
+
+    def test_registered_fd_kind_is_selectable(self):
+        from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
+
+        register_fd_kind(
+            "instant",
+            lambda sim, network, rng, config: PerfectFailureDetectorFabric(
+                sim, network, rng, detection_time=0.0
+            ),
+        )
+        try:
+            system = build_system(n=3, fd_kind="instant")
+            assert isinstance(system.fd_fabric, PerfectFailureDetectorFabric)
+        finally:
+            unregister_fd_kind("instant")
+
+    def test_fd_kind_name_with_slash_rejected(self):
+        with pytest.raises(ValueError, match="cannot contain"):
+            register_fd_kind("qos/fast", lambda *a: None)
+
+
+class TestProtocolConformance:
+    def test_broadcast_system_satisfies_fault_injectable(self):
+        assert isinstance(build_system(n=3), FaultInjectable)
+
+    def test_all_builtin_fabrics_satisfy_the_fabric_protocol(self):
+        for fd_kind in available_fd_kinds():
+            system = build_system(n=3, fd_kind=fd_kind)
+            assert isinstance(system.fd_fabric, FailureDetectorFabric), fd_kind
+
+    def test_fault_schedule_runs_against_the_capability_protocol(self):
+        """A minimal FaultInjectable double executes a schedule: the compiler
+        never touches fd_fabric or other system internals."""
+        from repro.scenarios.faults import FaultSchedule, SuspectDuring
+
+        calls = []
+
+        class Recorder:
+            config = SystemConfig(n=3)
+
+            def crash(self, pid):
+                calls.append(("crash", pid))
+
+            def crash_at(self, time, pid):
+                calls.append(("crash_at", time, pid))
+
+            def recover(self, pid):
+                calls.append(("recover", pid))
+
+            def recover_at(self, time, pid):
+                calls.append(("recover_at", time, pid))
+
+            def suspect_permanently(self, pid, delay=0.0):
+                calls.append(("suspect_permanently", pid))
+
+            def suspect_permanently_at(self, time, pid):
+                calls.append(("suspect_permanently_at", time, pid))
+
+            def suspect_during(self, target, start, duration, monitors=None):
+                calls.append(("suspect_during", target, start, duration))
+
+        schedule = (
+            FaultSchedule.pre_crashed([2])
+            .crash(10.0, 1)
+            .recover(50.0, 1)
+            .add(SuspectDuring(start=20.0, duration=5.0, target=0))
+        )
+        recorder = Recorder()
+        assert isinstance(recorder, FaultInjectable)
+        schedule.apply(recorder)
+        assert calls == [
+            ("crash", 2),
+            ("suspect_permanently", 2),
+            ("crash_at", 10.0, 1),
+            ("recover_at", 50.0, 1),
+            ("suspect_during", 0, 20.0, 5.0),
+        ]

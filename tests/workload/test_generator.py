@@ -7,7 +7,7 @@ from repro.workload.generator import PoissonWorkload
 
 
 def make_system(seed=21):
-    return build_system(SystemConfig(n=3, algorithm="fd", seed=seed))
+    return build_system(SystemConfig(n=3, stack="fd", seed=seed))
 
 
 class TestPoissonWorkload:
