@@ -1,6 +1,6 @@
 """Scenario-engine throughput benchmark: simulator events/sec per scenario.
 
-Runs a fixed grid of all seven scenario kinds through the shared
+Runs a fixed grid of all eight scenario kinds through the shared
 :class:`repro.scenarios.runner.ScenarioRunner` and reports how many simulated
 events per wall-clock second the hot path sustains.  CI runs it in smoke mode
 (``REPRO_BENCH_SMOKE=1``, tiny workloads) on every PR so that performance
@@ -23,6 +23,7 @@ from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_view_majority_loss,
 )
 from repro.scenarios.steady import (
     run_crash_steady,
@@ -91,6 +92,18 @@ def scenario_grid() -> List[Tuple[str, Callable[[str], object]]]:
             "asymmetric-qos",
             lambda a: run_asymmetric_qos(
                 cfg(a), THROUGHPUT, mistake_recurrence_time=300.0, num_messages=MESSAGES
+            ),
+        ),
+        (
+            "view-majority-loss",
+            # The GM slot runs the reformation stack: the plain GM algorithm
+            # deadlocks in this scenario by design (that is the point of the
+            # scenario), which would only benchmark an idle simulator.
+            lambda a: run_view_majority_loss(
+                cfg("gm-reform" if a == "gm" else a),
+                THROUGHPUT,
+                detection_time=10.0,
+                num_messages=MESSAGES,
             ),
         ),
     ]

@@ -14,11 +14,20 @@ Examples::
     python -m repro.campaigns --scenario churn-steady --stack fd --fd heartbeat \\
         --detection-time 10 --cache-dir .campaign-cache
 
-Seven scenario kinds are available: the paper's four (``normal-steady``,
+Eight scenario kinds are available: the paper's four (``normal-steady``,
 ``crash-steady``, ``suspicion-steady``, ``crash-transient``) and the
 beyond-paper fault-schedule scenarios (``correlated-crash``,
-``churn-steady``, ``asymmetric-qos``); ``churn`` / ``correlated`` /
-``asymmetric`` / ``normal`` are accepted shorthands.
+``churn-steady``, ``asymmetric-qos``, ``view-majority-loss``); ``churn`` /
+``correlated`` / ``asymmetric`` / ``normal`` / ``majority-loss`` are
+accepted shorthands.  ``view-majority-loss`` drives the GM stacks into the
+documented view-majority-loss deadlock and measures time-to-reformation
+under ``gm-reform`` (``--reformation-timeout`` sweeps the trigger window)::
+
+    python -m repro.campaigns --scenario view-majority-loss \\
+        --stack gm gm-reform --reformation-timeout 500
+
+``--hb-period`` / ``--hb-timeout`` set the heartbeat detector's parameters
+as first-class sweep dimensions whenever ``--fd heartbeat`` is selected.
 
 ``--stack`` sweeps protocol stacks from the registry (``fd``, ``gm``,
 ``gm-nonuniform``, or slash-qualified variants like ``fd/heartbeat``) and
@@ -53,6 +62,7 @@ SCENARIO_ALIASES = {
     "correlated": "correlated-crash",
     "churn": "churn-steady",
     "asymmetric": "asymmetric-qos",
+    "majority-loss": "view-majority-loss",
 }
 
 
@@ -150,6 +160,24 @@ def main(argv: List[str] = None) -> int:
         default=0,
         help="observed process of the flaky pair (asymmetric-qos)",
     )
+    parser.add_argument(
+        "--reformation-timeout",
+        type=float,
+        default=0.0,
+        help="reformation trigger window in ms, 0 = config default (view-majority-loss)",
+    )
+    parser.add_argument(
+        "--hb-period",
+        type=float,
+        default=0.0,
+        help="heartbeat period in ms, 0 = default (fd kind heartbeat)",
+    )
+    parser.add_argument(
+        "--hb-timeout",
+        type=float,
+        default=0.0,
+        help="heartbeat timeout in ms, 0 = default (fd kind heartbeat)",
+    )
     parser.add_argument("--name", default="adhoc", help="campaign name")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
@@ -180,6 +208,9 @@ def main(argv: List[str] = None) -> int:
         mean_downtime=args.downtime,
         flaky_monitor=args.flaky_monitor,
         flaky_target=args.flaky_target,
+        reformation_timeout=args.reformation_timeout,
+        heartbeat_period=args.hb_period,
+        heartbeat_timeout=args.hb_timeout,
     )
 
     store = ResultStore(args.cache_dir) if args.cache_dir else None

@@ -15,10 +15,12 @@ from typing import Any, Dict, List, Optional
 from repro.campaigns.records import record_to_result, result_to_record
 from repro.campaigns.spec import CampaignSpec, PointSpec
 from repro.campaigns.store import ResultStore
+from repro.scenarios.faults import VML_CRASH_TIME
 from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_view_majority_loss,
 )
 from repro.scenarios.steady import (
     run_crash_steady,
@@ -77,6 +79,14 @@ def execute_point(point: PointSpec) -> Dict[str, Any]:
             churn_rate=point.churn_rate,
             mean_downtime=point.mean_downtime,
             detection_time=point.detection_time,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "view-majority-loss":
+        result = run_view_majority_loss(
+            config,
+            point.throughput,
+            detection_time=point.detection_time,
+            crash_time=point.crash_time if point.crash_time > 0 else VML_CRASH_TIME,
             num_messages=point.num_messages,
         )
     elif point.kind == "asymmetric-qos":

@@ -22,6 +22,8 @@ from dataclasses import InitVar, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import __version__
+from repro.failure_detectors.heartbeat import HeartbeatConfig
+from repro.scenarios.faults import VML_SUSPECT_DURATION, VML_SUSPECT_START
 from repro.stacks import registry as stack_registry
 from repro.system import SystemConfig
 
@@ -35,6 +37,7 @@ SCENARIO_KINDS = (
     "correlated-crash",
     "churn-steady",
     "asymmetric-qos",
+    "view-majority-loss",
 )
 
 #: Bump when the meaning of a point's fields changes, to invalidate caches.
@@ -45,7 +48,13 @@ SCENARIO_KINDS = (
 #: canonical dict (and therefore its key) changed.  Old v2 caches are
 #: simply never hit again; they can be deleted, or kept alongside (the
 #: JSONL store is append-only and version-prefixed keys never collide).
-SCHEMA_VERSION = 3
+#: v4: the reformation layer -- ``view-majority-loss`` became a kind and
+#: three sweep dimensions were added (``reformation_timeout`` and the
+#: heartbeat detector's ``heartbeat_period`` / ``heartbeat_timeout``), so
+#: every point's canonical dict changed again.  Migration is the same as
+#: v2 -> v3: old v3 caches are never hit (version-prefixed keys cannot
+#: collide); delete them or leave them in place and re-simulate.
+SCHEMA_VERSION = 4
 
 INFINITY = float("inf")
 
@@ -144,8 +153,9 @@ class PointSpec:
     #: Tagged sender of the probe message (crash-transient only); ``None``
     #: keeps the driver default (the highest non-crashed pid).
     sender: Optional[int] = None
-    #: When the correlated crash fires, ms (correlated-crash only); 0 picks
-    #: the middle of the expected arrival window.
+    #: When the correlated crash / blocking crash fires, ms (correlated-crash
+    #: and view-majority-loss); 0 picks the scenario default (the middle of
+    #: the expected arrival window / the canonical schedule's 300 ms).
     crash_time: float = 0.0
     #: Crash arrivals per second (churn-steady only).
     churn_rate: float = 0.0
@@ -155,6 +165,13 @@ class PointSpec:
     #: ``flaky_target`` with the QoS means above (asymmetric-qos only).
     flaky_monitor: int = 1
     flaky_target: int = 0
+    #: Reformation window of the ``gm-reform`` stack, ms; 0 keeps the
+    #: ``SystemConfig`` default (reformation-capable stacks only).
+    reformation_timeout: float = 0.0
+    #: Heartbeat detector parameters, ms; 0 keeps the ``HeartbeatConfig``
+    #: defaults (``fd_kind="heartbeat"`` only).
+    heartbeat_period: float = 0.0
+    heartbeat_timeout: float = 0.0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     #: Deprecated alias of ``stack`` (not a field: never enters the key).
@@ -206,6 +223,27 @@ class PointSpec:
             raise ValueError("the tagged sender must differ from the crashed process")
         if self.kind == "churn-steady" and (self.churn_rate <= 0 or self.mean_downtime <= 0):
             raise ValueError("churn-steady points need churn_rate > 0 and mean_downtime > 0")
+        if self.kind == "view-majority-loss":
+            if self.n < 3 or self.n % 2 == 0:
+                raise ValueError(
+                    "view-majority-loss points need an odd group size n >= 3 "
+                    "(the single-window blocked-state construction)"
+                )
+            # The campaign path always uses the canonical suspicion window,
+            # so an out-of-window crash_time (which could never block the
+            # view) is rejected here instead of mid-campaign in a worker.
+            window_end = VML_SUSPECT_START + VML_SUSPECT_DURATION
+            if self.crash_time != 0 and not (
+                VML_SUSPECT_START < self.crash_time < window_end
+            ):
+                raise ValueError(
+                    "view-majority-loss crash_time must fall inside the "
+                    f"canonical suspicion window ({VML_SUSPECT_START:g}, "
+                    f"{window_end:g}), got {self.crash_time} (0 = default)"
+                )
+        for knob in ("reformation_timeout", "heartbeat_period", "heartbeat_timeout"):
+            if getattr(self, knob) < 0:
+                raise ValueError(f"{knob} must be >= 0 (0 = default), got {getattr(self, knob)}")
         if self.kind == "asymmetric-qos":
             if self.flaky_monitor == self.flaky_target:
                 raise ValueError("the flaky observer pair needs two distinct processes")
@@ -217,12 +255,24 @@ class PointSpec:
 
     def config(self) -> SystemConfig:
         """The ``SystemConfig`` this point simulates."""
+        extras: Dict[str, Any] = dict(self.config_overrides)
+        if self.reformation_timeout > 0:
+            extras.setdefault("reformation_timeout", self.reformation_timeout)
+        if self.heartbeat_period > 0 or self.heartbeat_timeout > 0:
+            defaults = HeartbeatConfig()
+            extras.setdefault(
+                "heartbeat",
+                HeartbeatConfig(
+                    period=self.heartbeat_period or defaults.period,
+                    timeout=self.heartbeat_timeout or defaults.timeout,
+                ),
+            )
         return SystemConfig(
             n=self.n,
             stack=self.stack,
             fd_kind=self.fd_kind,
             seed=self.seed,
-            **dict(self.config_overrides),
+            **extras,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -254,6 +304,9 @@ class PointSpec:
             "mean_downtime": _json_number(self.mean_downtime),
             "flaky_monitor": int(self.flaky_monitor),
             "flaky_target": int(self.flaky_target),
+            "reformation_timeout": _json_number(self.reformation_timeout),
+            "heartbeat_period": _json_number(self.heartbeat_period),
+            "heartbeat_timeout": _json_number(self.heartbeat_timeout),
             "config_overrides": {
                 name: _json_number(value) for name, value in self.config_overrides
             },
@@ -297,6 +350,14 @@ class PointSpec:
             "asymmetric-qos": (
                 f" p{self.flaky_monitor}~p{self.flaky_target}"
                 f" T_MR={self.mistake_recurrence_time:g} T_M={self.mistake_duration:g}"
+            ),
+            "view-majority-loss": (
+                f" T_D={self.detection_time:g}"
+                + (
+                    f" reform={self.reformation_timeout:g}ms"
+                    if self.reformation_timeout > 0
+                    else ""
+                )
             ),
         }[self.kind]
         stack = self.stack if self.fd_kind == "qos" else f"{self.stack}/{self.fd_kind}"
@@ -382,6 +443,9 @@ def grid(
     mean_downtime: float = 200.0,
     flaky_monitor: int = 1,
     flaky_target: int = 0,
+    reformation_timeout: float = 0.0,
+    heartbeat_period: float = 0.0,
+    heartbeat_timeout: float = 0.0,
     config_overrides: Iterable[Tuple[str, Any]] = (),
     description: str = "",
 ) -> CampaignSpec:
@@ -467,7 +531,12 @@ def grid(
                                 detection_time=(
                                     detection_time
                                     if kind
-                                    in ("crash-transient", "correlated-crash", "churn-steady")
+                                    in (
+                                        "crash-transient",
+                                        "correlated-crash",
+                                        "churn-steady",
+                                        "view-majority-loss",
+                                    )
                                     else 0.0
                                 ),
                                 crashed_process=(
@@ -475,7 +544,9 @@ def grid(
                                 ),
                                 sender=(sender if kind == "crash-transient" else None),
                                 crash_time=(
-                                    crash_time if kind == "correlated-crash" else 0.0
+                                    crash_time
+                                    if kind in ("correlated-crash", "view-majority-loss")
+                                    else 0.0
                                 ),
                                 churn_rate=(
                                     churn_rate if kind == "churn-steady" else 0.0
@@ -488,6 +559,21 @@ def grid(
                                 ),
                                 flaky_target=(
                                     flaky_target if kind == "asymmetric-qos" else 0
+                                ),
+                                reformation_timeout=(
+                                    # Scoped by stack capability, not kind:
+                                    # a reformation-capable stack reads the
+                                    # knob under every scenario (e.g. churn
+                                    # can trigger reformations too).
+                                    reformation_timeout
+                                    if dict(stack_spec.params).get("reformation")
+                                    else 0.0
+                                ),
+                                heartbeat_period=(
+                                    heartbeat_period if fd_kind == "heartbeat" else 0.0
+                                ),
+                                heartbeat_timeout=(
+                                    heartbeat_timeout if fd_kind == "heartbeat" else 0.0
                                 ),
                                 config_overrides=overrides,
                             )

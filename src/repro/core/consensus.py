@@ -32,6 +32,7 @@ _ESTIMATE = "ESTIMATE"
 _PROPOSE = "PROPOSE"
 _ACK = "ACK"
 _NACK = "NACK"
+_RESYNC = "CONS_RESYNC"
 _DECIDE_TAG = "CONS_DECIDE"
 
 
@@ -146,6 +147,9 @@ class ConsensusInstance:
     def handle(self, sender: int, body: Any) -> None:
         """Dispatch one consensus message belonging to this instance."""
         if self.decided:
+            return
+        if body[0] == _RESYNC:
+            self._on_resync(sender)
             return
         round_number = body[2]
         if round_number < self.round:
@@ -331,14 +335,18 @@ class ConsensusInstance:
         Messages exchanged while the process was down were dropped, so the
         instance may be mutually blocked: a coordinator waiting for lost
         acknowledgements, or this process waiting for a proposal that was
-        multicast while it could not receive.  A coordinator re-multicasts
-        its pending proposal (receivers acknowledge duplicates); a
-        non-coordinator abandons the current round exactly as if it
-        suspected the coordinator, re-entering the rotation with fresh
-        messages.
+        multicast while it could not receive.  A RESYNC multicast asks every
+        participant to repeat the messages it addressed to this process
+        (estimates/acks/nacks for rounds this process coordinates, its
+        current proposal if it is a coordinator itself -- see
+        :meth:`_on_resync`); then a coordinator re-multicasts its pending
+        proposal (receivers acknowledge duplicates) and a non-coordinator
+        abandons the current round exactly as if it suspected the
+        coordinator, re-entering the rotation with fresh messages.
         """
         if self.decided:
             return
+        self._multicast(self._others(), (_RESYNC, self.cid, self.round))
         round_number = self.round
         coordinator = self.coordinator_of(round_number)
         if coordinator == self.pid:
@@ -347,14 +355,51 @@ class ConsensusInstance:
                     self._others(),
                     (_PROPOSE, self.cid, round_number, self._proposal_value[round_number]),
                 )
-            else:
-                # Waiting for estimates that may have been sent while this
-                # process was down: abandon the round and rejoin the
-                # rotation, which sends a fresh estimate to the next
-                # coordinator.
-                self._enter_round(round_number + 1)
+            # Otherwise this process coordinates a round whose estimates
+            # were dropped while it was down (it may even have entered the
+            # round while down, through the clock-driven failure detector's
+            # listeners).  The peers parked in this round can only be
+            # unparked by our proposal, so abandoning it would deadlock
+            # them; the RESYNC repeats bring the estimates (and the nacks
+            # of peers that already moved past the round), after which the
+            # normal propose/abandon rules resume.
             return
         self.on_suspicion_change(coordinator, True)
+
+    def _on_resync(self, sender: int) -> None:
+        """Repeat, for a crash-recovered ``sender``, the messages it missed.
+
+        Everything this process previously addressed to ``sender`` may have
+        been dropped while it was down, and none of it is ever re-sent on
+        the normal paths (estimates and nacks are sent exactly once per
+        round).  Without the repeats the instance can deadlock with every
+        alive participant parked: e.g. the recovered process as the
+        coordinator of round ``r`` waiting for estimates that were dropped,
+        their senders waiting for its proposal, and no failure detector
+        event ever unparking anyone because all of them are alive.  All the
+        repeated messages are idempotent on the receiving side.
+        """
+        if self.decided:
+            return
+        for round_number in range(1, self.round + 1):
+            if self.coordinator_of(round_number) != sender:
+                continue
+            if round_number > 1:
+                self._send(
+                    sender, (_ESTIMATE, self.cid, round_number, self.estimate, self.ts)
+                )
+            if round_number in self._acked_round:
+                self._send(sender, (_ACK, self.cid, round_number))
+            if round_number in self._nacked_round:
+                self._send(sender, (_NACK, self.cid, round_number))
+        if (
+            self.coordinator_of(self.round) == self.pid
+            and self.round in self._proposal_sent
+        ):
+            self._send(
+                sender,
+                (_PROPOSE, self.cid, self.round, self._proposal_value[self.round]),
+            )
 
     # ------------------------------------------------------------------ suspicions
 
@@ -442,14 +487,32 @@ class ConsensusService(Component):
         """Subscribe to first contact with instances not yet proposed locally."""
         self._unknown_listeners.append(listener)
 
+    def full_set(self) -> Tuple[int, ...]:
+        """The full static process set of the system (ids ``0 .. n-1``).
+
+        Group reformation runs its successor-view consensus over this set
+        instead of the (majority-less) current view, so any global majority
+        of alive processes can decide -- the property that restores liveness
+        after view-majority loss.
+        """
+        return tuple(range(self.process.network.n))
+
     def propose(
         self,
         cid: Hashable,
         value: Any,
-        participants: Sequence[int],
+        participants: Optional[Sequence[int]] = None,
         coordinator_order: Optional[Sequence[int]] = None,
     ) -> ConsensusInstance:
-        """Propose ``value`` in instance ``cid`` and start participating in it."""
+        """Propose ``value`` in instance ``cid`` and start participating in it.
+
+        ``participants`` defaults to the **full static process set**
+        (:meth:`full_set`): an instance scoped that way is decidable by any
+        majority of all processes, independent of the views a group
+        membership layer above may have installed.
+        """
+        if participants is None:
+            participants = self.full_set()
         if cid in self._instances:
             return self._instances[cid]
         instance = ConsensusInstance(self, cid, value, participants, coordinator_order)

@@ -106,7 +106,7 @@ class FDAtomicBroadcast(AtomicBroadcast):
         if kind == _CATCHUP_REQ:
             self._on_catchup_request(sender, body[1])
         elif kind == _CATCHUP_RESP:
-            self._on_catchup_response(body[1])
+            self._on_catchup_response(body[1], body[2], body[3])
         elif kind == _PAYLOAD_REQ:
             self._on_payload_request(sender, body[1])
         elif kind == _PAYLOAD_RESP:
@@ -136,7 +136,16 @@ class FDAtomicBroadcast(AtomicBroadcast):
             self.send(others, (_CATCHUP_REQ, since))
 
     def _on_catchup_request(self, sender: int, since: int) -> None:
-        if self._last_decided <= since:
+        # Undecided messages ride along too: a DATA multicast sent while the
+        # requester was down was dropped and -- its origin staying alive --
+        # is never relayed again, so without this hand-over the requester
+        # could not propose (or even learn of) the messages the group is
+        # currently ordering.
+        unordered = tuple(
+            (bid, self._payloads[bid]) for bid in sorted(self._pending)
+            if bid in self._payloads
+        )
+        if self._last_decided <= since and self._highest_proposed <= since and not unordered:
             return
         entries = []
         for k in range(since + 1, self._last_decided + 1):
@@ -145,9 +154,22 @@ class FDAtomicBroadcast(AtomicBroadcast):
                 (bid, self._payloads[bid]) for bid in broadcast_ids if bid in self._payloads
             )
             entries.append((k, proposer, broadcast_ids, payloads))
-        self.send_one(sender, (_CATCHUP_RESP, tuple(entries)))
+        # The proposal frontier rides along so the recovered process also
+        # joins instances that are open but *undecided*: their participants
+        # may be parked waiting for the recovered process itself (e.g. as
+        # the round-1 coordinator, which sends nothing until it proposes).
+        self.send_one(
+            sender,
+            (_CATCHUP_RESP, tuple(entries), self._highest_proposed, unordered),
+        )
 
-    def _on_catchup_response(self, entries: Tuple) -> None:
+    def _on_catchup_response(
+        self, entries: Tuple, frontier: int = 0, unordered: Tuple = ()
+    ) -> None:
+        for broadcast_id, payload in unordered:
+            self._payloads.setdefault(broadcast_id, payload)
+            if broadcast_id not in self._ordered and not self.has_delivered(broadcast_id):
+                self._pending.add(broadcast_id)
         for k, proposer, broadcast_ids, payloads in entries:
             for broadcast_id, payload in payloads:
                 self._payloads.setdefault(broadcast_id, payload)
@@ -167,7 +189,7 @@ class FDAtomicBroadcast(AtomicBroadcast):
         if self._highest_proposed < self._last_decided:
             self._highest_proposed = self._last_decided
         self._try_deliver()
-        self._maybe_start_consensus()
+        self._maybe_start_consensus(join_up_to=frontier)
 
     def _request_missing_payloads(self, broadcast_ids) -> None:
         """Ask the peers for payloads a decision references but we never got.
@@ -230,13 +252,22 @@ class FDAtomicBroadcast(AtomicBroadcast):
             claimed.update(ids)
         return self._pending - claimed
 
-    def _maybe_start_consensus(self) -> None:
+    def _maybe_start_consensus(self, join_up_to: int = 0) -> None:
+        """Open the next consensus instances this process should propose in.
+
+        ``join_up_to`` (the proposal frontier a catch-up response reported)
+        forces a proposal -- empty if nothing is pending -- in every
+        instance the group already opened: an undecided instance whose
+        round-1 coordinator is this recovered process makes no progress
+        until that coordinator proposes.
+        """
         while True:
             k = self._highest_proposed + 1
             if k > self._last_decided + self.pipeline_depth:
                 return
             fresh = self._unproposed_pending()
-            need = bool(fresh) or self.consensus.has_buffered(self._cid(k))
+            need = bool(fresh) or k <= join_up_to
+            need = need or self.consensus.has_buffered(self._cid(k))
             if not need:
                 # An empty instance is still worth proposing when other
                 # processes already started a later eligible instance:

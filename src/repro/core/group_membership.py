@@ -40,6 +40,43 @@ moved on -- re-enters through the join protocol instead: members answer its
 stale messages with the current view (if it is still a member of it) or a
 not-member notification, and the join protocol's state transfer replays the
 log suffix it missed before it operates again.
+
+Group reformation (beyond the paper)
+------------------------------------
+
+The view-change protocol above shares the paper's fundamental liveness
+limit: the consensus of step 3 runs among the members of the *current view*,
+so once wrong suspicions have shrunk the installed view, a single real crash
+inside it can leave the view without a majority of alive members -- and then
+no view change can ever decide, even though a global majority of processes
+is alive.  The *reformation* path restores liveness:
+
+* **Trigger.**  A member whose view change makes no progress for
+  ``reformation_timeout`` ms proposes a successor view in a consensus
+  instance ``("reform", epoch + 1)`` scoped to the **full static process
+  set** (every process of the system, members or not), which any global
+  majority of alive processes can decide.  Its proposal carries the
+  candidate membership (every process its failure detector trusts), and the
+  union of the unstable messages it collected in the stalled view change
+  (view synchrony for the survivors).  Non-members that hear messages of a
+  reformation instance join it through the consensus service's
+  unknown-instance notification, proposing their own candidate.
+
+* **Fence.**  Views carry an *epoch* (see :class:`repro.core.types.View`);
+  view identities are totally ordered by ``(epoch, view_id)``.  The decided
+  reformation view bumps the epoch, so it supersedes any view the old epoch
+  can still produce -- in particular a *late normal view change* whose
+  consensus decides after the reformation: processes that installed the
+  reformed view ignore the stale decision (its view identity no longer
+  matches theirs), and a loser that installed the stale view is told
+  ``NOT_MEMBER`` / detected as stale the moment it contacts a reformed
+  member, falling back to the existing join-and-state-transfer resync path.
+
+* **Rejoin.**  Reformed members that were participating in the origin view
+  install the decided view directly (after delivering the unstable union);
+  every other process named in the reformed membership re-enters through
+  the join protocol, whose state transfer replays the whole delivered-log
+  suffix it missed.
 """
 
 from __future__ import annotations
@@ -51,6 +88,9 @@ from repro.core.types import View
 from repro.sim.process import Component, SimProcess
 
 ViewListener = Callable[[View], None]
+
+#: A view identity: the totally ordered pair ``(epoch, view_id)``.
+ViewId = Tuple[int, int]
 
 _VIEW_CHANGE = "VIEW_CHANGE"
 _SYNC = "SYNC"
@@ -78,6 +118,7 @@ class GroupMembership(Component):
         consensus: ConsensusService,
         initial_members: Optional[Sequence[int]] = None,
         join_retry_interval: float = 500.0,
+        reformation_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(process)
         self.consensus = consensus
@@ -88,6 +129,10 @@ class GroupMembership(Component):
         self._last_known_view = self._view
         self._status = MEMBER if self.pid in members else EXCLUDED
         self.join_retry_interval = join_retry_interval
+        #: How long a view change may stall before this process proposes a
+        #: group reformation over the full static process set; ``None``
+        #: disables the reformation path entirely (the paper's protocol).
+        self.reformation_timeout = reformation_timeout
 
         self._handler = None  # the atomic broadcast layer (set by set_broadcast_handler)
         self._view_listeners: List[ViewListener] = []
@@ -102,15 +147,20 @@ class GroupMembership(Component):
         #: participates in view changes but must re-enter the decided view
         #: through a state transfer instead of installing it directly.
         self._recovering = False
+        #: Highest reformation epoch this process has proposed in.
+        self._reform_epoch_proposed = 0
 
         self._pending_joins: Set[int] = set()
-        self._future: Dict[int, List[Tuple[int, Any]]] = {}
-        self._not_member_notified: Set[Tuple[int, int]] = set()
+        self._future: Dict[ViewId, List[Tuple[int, Any]]] = {}
+        self._not_member_notified: Set[Tuple[int, ViewId]] = set()
         self._join_attempts = 0
         #: Diagnostics: number of views installed by this process.
         self.views_installed = 0
+        #: Diagnostics: number of reformations this process proposed.
+        self.reformations_proposed = 0
 
         consensus.add_decision_listener(self._on_decision)
+        consensus.add_unknown_instance_listener(self._on_unknown_instance)
 
     # ------------------------------------------------------------------ wiring
 
@@ -253,10 +303,12 @@ class GroupMembership(Component):
         self._status = VIEW_CHANGE_IN_PROGRESS
         if self._handler is not None:
             self._handler.on_view_change_started()
+        if self.reformation_timeout is not None:
+            self.set_timer(self.reformation_timeout, self._maybe_reform, self._view.vid)
         members = list(self._view.members)
         if not self._vc_sent:
             self._vc_sent = True
-            self.send(members, (_VIEW_CHANGE, self._view.view_id, resync))
+            self.send(members, (_VIEW_CHANGE, self._view.vid, resync))
         self._send_sync()
 
     def _sync_message(self) -> Tuple:
@@ -265,7 +317,7 @@ class GroupMembership(Component):
         if self._handler is not None:
             unstable = tuple(self._handler.collect_unstable())
         joiners = tuple(sorted(j for j in self._pending_joins if not self._suspects(j)))
-        return (_SYNC, self._view.view_id, unstable, joiners)
+        return (_SYNC, self._view.vid, unstable, joiners)
 
     def _send_sync(self) -> None:
         if self._sync_sent:
@@ -273,23 +325,23 @@ class GroupMembership(Component):
         self._sync_sent = True
         self.send(list(self._view.members), self._sync_message())
 
-    def _on_view_change_msg(self, sender: int, view_id: int, resync: bool) -> None:
-        if view_id != self._view.view_id or not self.is_member():
-            if view_id > self._view.view_id:
-                self._future.setdefault(view_id, []).append(
-                    (sender, (_VIEW_CHANGE, view_id, resync))
+    def _on_view_change_msg(self, sender: int, vid: ViewId, resync: bool) -> None:
+        if vid != self._view.vid or not self.is_member():
+            if vid > self._view.vid:
+                self._future.setdefault(vid, []).append(
+                    (sender, (_VIEW_CHANGE, vid, resync))
                 )
-            elif view_id < self._view.view_id and self.is_member():
+            elif vid < self._view.vid and self.is_member():
                 # A stale view change comes from a process that missed the
                 # group's progress while it was down.  Point it at the
                 # current view: a current member re-enters through a state
                 # transfer, anyone else restarts the join protocol.
                 if sender in self._view.members:
                     self.send_one(
-                        sender, (_VIEW_INSTALL, self._view.view_id, self._view.members)
+                        sender, (_VIEW_INSTALL, self._view.vid, self._view.members)
                     )
                 else:
-                    self.report_stale_sender(sender, view_id)
+                    self.report_stale_sender(sender, vid)
             return
         if self._status == MEMBER:
             self._start_view_change()
@@ -299,11 +351,11 @@ class GroupMembership(Component):
             # that member alone.
             self.send_one(sender, self._sync_message())
 
-    def _on_sync(self, sender: int, view_id: int, entries: Tuple, joiners: Tuple) -> None:
-        if view_id != self._view.view_id or not self.is_member():
-            if view_id > self._view.view_id:
-                self._future.setdefault(view_id, []).append(
-                    (sender, (_SYNC, view_id, entries, joiners))
+    def _on_sync(self, sender: int, vid: ViewId, entries: Tuple, joiners: Tuple) -> None:
+        if vid != self._view.vid or not self.is_member():
+            if vid > self._view.vid:
+                self._future.setdefault(vid, []).append(
+                    (sender, (_SYNC, vid, entries, joiners))
                 )
             return
         if self._status == MEMBER:
@@ -311,6 +363,25 @@ class GroupMembership(Component):
         self._syncs[sender] = entries
         self._joiners_seen.update(joiners)
         self._maybe_propose()
+
+    @staticmethod
+    def _merge_unstable(sync_sets: Sequence[Tuple]) -> Tuple:
+        """The deterministic union of several SYNC unstable sets."""
+        union: Dict = {}
+        for entries in sync_sets:
+            for broadcast_id, payload, seqnum in entries:
+                current_payload, current_seqnum = union.get(broadcast_id, (None, None))
+                if current_payload is None:
+                    current_payload = payload
+                if current_seqnum is None:
+                    current_seqnum = seqnum
+                union[broadcast_id] = (current_payload, current_seqnum)
+        return tuple(
+            sorted(
+                ((bid, payload, seqnum) for bid, (payload, seqnum) in union.items()),
+                key=lambda entry: entry[0],
+            )
+        )
 
     def _maybe_propose(self) -> None:
         if self._status != VIEW_CHANGE_IN_PROGRESS or self._proposed:
@@ -335,39 +406,118 @@ class GroupMembership(Component):
             )
         )
         new_members = survivors + joiners
-        union: Dict = {}
-        for entries in self._syncs.values():
-            for broadcast_id, payload, seqnum in entries:
-                current_payload, current_seqnum = union.get(broadcast_id, (None, None))
-                if current_payload is None:
-                    current_payload = payload
-                if current_seqnum is None:
-                    current_seqnum = seqnum
-                union[broadcast_id] = (current_payload, current_seqnum)
-        unstable = tuple(
-            sorted(
-                ((bid, payload, seqnum) for bid, (payload, seqnum) in union.items()),
-                key=lambda entry: entry[0],
-            )
-        )
+        unstable = self._merge_unstable(list(self._syncs.values()))
         value = (self.pid, (new_members, unstable))
         self.consensus.propose(
-            ("vc", view.view_id),
+            ("vc", view.vid),
             value,
             participants=view.members,
             coordinator_order=view.members,
         )
 
-    def _on_decision(self, cid: Hashable, value: Any) -> None:
-        if not isinstance(cid, tuple) or len(cid) != 2 or cid[0] != "vc":
+    # ------------------------------------------------------------------ reformation
+
+    def _maybe_reform(self, vid: ViewId) -> None:
+        """Timeout gate: reform if the view change of ``vid`` is still stalled."""
+        if self._status != VIEW_CHANGE_IN_PROGRESS or self._view.vid != vid:
             return
-        view_id = cid[1]
-        if view_id != self._view.view_id or not self.is_member():
+        new_epoch = self._view.epoch + 1
+        if self._reform_epoch_proposed >= new_epoch:
+            return
+        self.reformations_proposed += 1
+        self._propose_reformation(new_epoch)
+
+    def _propose_reformation(self, new_epoch: int) -> None:
+        """Propose a successor view in the full-static-set reformation consensus.
+
+        The candidate membership is every process the local failure detector
+        currently trusts (always including this process); the unstable union
+        covers the SYNCs collected in the stalled view change, which in the
+        canonical blocked state is every *alive* member's sync -- the dead
+        members' syncs are exactly the ones that can never arrive.
+        """
+        if self._reform_epoch_proposed >= new_epoch:
+            return
+        self._reform_epoch_proposed = new_epoch
+        candidate = tuple(
+            sorted(
+                pid
+                for pid in range(self.process.network.n)
+                if pid == self.pid or not self._suspects(pid)
+            )
+        )
+        if self._syncs:
+            unstable = self._merge_unstable(list(self._syncs.values()))
+        elif self._handler is not None:
+            unstable = self._merge_unstable([tuple(self._handler.collect_unstable())])
+        else:
+            unstable = ()
+        origin = self._view.vid if self.is_member() else self._last_known_view.vid
+        value = (self.pid, (origin, candidate, unstable))
+        # Participants default to the full static process set: any global
+        # majority of alive processes decides, members or not.
+        self.consensus.propose(("reform", new_epoch), value)
+
+    def _on_unknown_instance(self, cid: Hashable) -> None:
+        """Join a reformation consensus another process started.
+
+        The consensus service buffers messages of instances the local
+        process has not proposed in; for a reformation instance that must
+        not last (non-members may hold the deciding votes), so first contact
+        triggers a local proposal with this process's own candidate.
+        """
+        if not (isinstance(cid, tuple) and len(cid) == 2 and cid[0] == "reform"):
+            return
+        new_epoch = cid[1]
+        if not isinstance(new_epoch, int) or new_epoch <= self._view.epoch:
+            return
+        self._propose_reformation(new_epoch)
+
+    def _on_reform_decision(self, new_epoch: int, value: Any) -> None:
+        _proposer, (origin_vid, members, unstable) = value
+        if new_epoch <= self._view.epoch:
+            return  # this process already lives in a reformed (or later) epoch
+        new_view = View(origin_vid[1] + 1, tuple(members), new_epoch)
+        if new_view.vid > self._last_known_view.vid:
+            self._last_known_view = new_view
+        if self.is_member():
+            # Split-brain fence: installing the reformed view bumps our
+            # epoch, so any late normal view-change decision of the old
+            # epoch no longer matches our view identity and is discarded
+            # by :meth:`_on_decision`.
+            if self._handler is not None:
+                self._handler.deliver_view_change(unstable)
+            if self.pid in new_view.members:
+                joiners = [m for m in new_view.members if m not in self._view.members]
+                self._install_view(new_view, notify_joiners=joiners)
+            else:
+                self._become_excluded(new_view)
+            return
+        # Excluded or joining: the reformed view supersedes whatever this
+        # process was trying to join; the running join-retry loop now
+        # targets the reformed membership, and the state transfer replays
+        # everything missed (including any unstable union).
+        if self._status == JOINING:
+            self._status = EXCLUDED
+
+    def _on_decision(self, cid: Hashable, value: Any) -> None:
+        if not isinstance(cid, tuple) or len(cid) != 2:
+            return
+        if cid[0] == "reform":
+            self._on_reform_decision(cid[1], value)
+            return
+        if cid[0] != "vc":
+            return
+        vid = cid[1]
+        if vid != self._view.vid or not self.is_member():
+            # Covers the reformation fence: after a reformed view is
+            # installed the old epoch's pending view-change decision no
+            # longer matches the local view identity.
             return
         _proposer, (new_members, unstable) = value
         if self._handler is not None:
             self._handler.deliver_view_change(unstable)
-        new_view = View(view_id + 1, tuple(new_members))
+        new_view = View(vid[1] + 1, tuple(new_members), vid[0])
         self._last_known_view = new_view
         joiners = [m for m in new_members if m not in self._view.members]
         if self.pid in new_members:
@@ -393,8 +543,8 @@ class GroupMembership(Component):
         # :meth:`_on_join_request`), so nobody is stranded.
         if notify_joiners and view.sequencer == self.pid:
             for joiner in notify_joiners:
-                self.send_one(joiner, (_VIEW_INSTALL, view.view_id, view.members))
-        self._replay_future(view.view_id)
+                self.send_one(joiner, (_VIEW_INSTALL, view.vid, view.members))
+        self._replay_future(view.vid)
         self._check_pending_triggers()
 
     def _become_excluded(self, new_view: View) -> None:
@@ -409,8 +559,8 @@ class GroupMembership(Component):
         self._syncs = {}
         self._joiners_seen = set()
 
-    def _replay_future(self, view_id: int) -> None:
-        for sender, body in self._future.pop(view_id, []):
+    def _replay_future(self, vid: ViewId) -> None:
+        for sender, body in self._future.pop(vid, []):
             self.on_message(sender, body)
 
     def _check_pending_triggers(self) -> None:
@@ -425,35 +575,36 @@ class GroupMembership(Component):
 
     # ------------------------------------------------------------------ stale senders
 
-    def report_stale_sender(self, sender: int, stale_view_id: int) -> None:
+    def report_stale_sender(self, sender: int, stale_vid: ViewId) -> None:
         """Tell ``sender`` it is no longer a member of the current view.
 
         Called by the atomic broadcast layer when it receives a message
         tagged with an old view from a process that is not in the current
         membership: the sender missed its own exclusion (for instance because
-        it was excluded again while still performing a state transfer) and
-        needs to restart the join protocol.
+        it was excluded again while still performing a state transfer, or
+        because it installed a stale view the reformation fence superseded)
+        and needs to restart the join protocol.
         """
         if not self.is_member():
             return
-        if sender in self._view.members or stale_view_id >= self._view.view_id:
+        if sender in self._view.members or stale_vid >= self._view.vid:
             return
-        key = (sender, self._view.view_id)
+        key = (sender, self._view.vid)
         if key in self._not_member_notified:
             return
         self._not_member_notified.add(key)
-        self.send_one(sender, (_NOT_MEMBER, self._view.view_id, self._view.members))
+        self.send_one(sender, (_NOT_MEMBER, self._view.vid, self._view.members))
 
-    def _on_not_member(self, sender: int, view_id: int, members: Tuple[int, ...]) -> None:
-        if view_id <= self._view.view_id or self.pid in members:
+    def _on_not_member(self, sender: int, vid: ViewId, members: Tuple[int, ...]) -> None:
+        if vid <= self._view.vid or self.pid in members:
             return
         if self._status in (EXCLUDED, JOINING):
-            self._last_known_view = View(view_id, tuple(members))
+            self._last_known_view = View(vid[1], tuple(members), vid[0])
             return
         # We believed we were an (old-view) member but the group moved on
         # without us: fall back to the join protocol.
         self._status = EXCLUDED
-        self._last_known_view = View(view_id, tuple(members))
+        self._last_known_view = View(vid[1], tuple(members), vid[0])
         self._reset_view_change_state()
         self._attempt_join()
 
@@ -466,7 +617,7 @@ class GroupMembership(Component):
             # The joiner is already part of the current view (it missed the
             # VIEW_INSTALL notification, or is re-entering it after a crash
             # recovery): tell it directly; the state transfer catches it up.
-            self.send_one(sender, (_VIEW_INSTALL, self._view.view_id, self._view.members))
+            self.send_one(sender, (_VIEW_INSTALL, self._view.vid, self._view.members))
             return
         self._pending_joins.add(sender)
         if self._status == MEMBER and not self._suspects(sender):
@@ -478,11 +629,11 @@ class GroupMembership(Component):
         self._join_attempts += 1
         members = [m for m in self._last_known_view.members if m != self.pid]
         if members:
-            self.send(members, (_JOIN_REQ, self._last_known_view.view_id))
+            self.send(members, (_JOIN_REQ, self._last_known_view.vid))
         self.set_timer(self.join_retry_interval, self._attempt_join)
 
-    def _on_view_install_msg(self, sender: int, view_id: int, members: Tuple[int, ...]) -> None:
-        if view_id <= self._view.view_id or self.pid not in members:
+    def _on_view_install_msg(self, sender: int, vid: ViewId, members: Tuple[int, ...]) -> None:
+        if vid <= self._view.vid or self.pid not in members:
             return
         if self._status not in (EXCLUDED, JOINING):
             # A member only receives a VIEW_INSTALL for a higher view when it
@@ -494,7 +645,7 @@ class GroupMembership(Component):
                 return
             self.set_timer(self.join_retry_interval, self._attempt_join)
         self._status = JOINING
-        self._last_known_view = View(view_id, tuple(members))
+        self._last_known_view = View(vid[1], tuple(members), vid[0])
         delivered = self._handler.delivered_count if self._handler is not None else 0
         self.send_one(sender, (_STATE_REQ, delivered))
 
@@ -503,16 +654,16 @@ class GroupMembership(Component):
             return
         entries = tuple(self._handler.delivered_log_since(since))
         self.send_one(
-            sender, (_STATE_RESP, self._view.view_id, self._view.members, entries)
+            sender, (_STATE_RESP, self._view.vid, self._view.members, entries)
         )
 
     def _on_state_response(
-        self, sender: int, view_id: int, members: Tuple[int, ...], entries: Tuple
+        self, sender: int, vid: ViewId, members: Tuple[int, ...], entries: Tuple
     ) -> None:
         if self._status != JOINING:
             return
-        if self.pid not in members or view_id <= self._view.view_id:
+        if self.pid not in members or vid <= self._view.vid:
             return
         if self._handler is not None:
             self._handler.apply_state(entries)
-        self._install_view(View(view_id, tuple(members)))
+        self._install_view(View(vid[1], tuple(members), vid[0]))

@@ -74,10 +74,13 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
         # they are (re)multicast whenever a new view is installed.
         self._own_pending: Dict[BroadcastID, Any] = {}
         self._frozen = False
-        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._future: Dict[Tuple[int, int], List[Tuple[int, Any]]] = {}
 
-        # Per-view state (reset by _reset_view_state).
-        self._view_id = membership.view.view_id
+        # Per-view state (reset by _reset_view_state).  Messages are tagged
+        # with the totally ordered view identity (epoch, view_id), so views
+        # of different reformation epochs can never be confused even when
+        # their view_id values collide.
+        self._view_id = membership.view.vid
         self._seq_counter = 0
         self._batch_counter = 0
         self._unsequenced: List[BroadcastID] = []
@@ -427,7 +430,7 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
 
     def on_view_installed(self, view: View) -> None:
         """Reset the per-view protocol state and restart in ``view``."""
-        self._view_id = view.view_id
+        self._view_id = view.vid
         self._frozen = False
         self._seq_counter = 0
         self._batch_counter = 0
@@ -454,7 +457,7 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
                 self.send(
                     list(view.members), (_DATA, self._view_id, broadcast_id, payload)
                 )
-        self._replay_future(view.view_id)
+        self._replay_future(view.vid)
 
     def delivered_log_since(self, index: int) -> Tuple[Tuple[BroadcastID, Any], ...]:
         """Suffix of the delivery log, used to answer state transfer requests."""
@@ -466,6 +469,6 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
             self._record_payload(broadcast_id, payload)
             self._deliver_message(broadcast_id, payload)
 
-    def _replay_future(self, view_id: int) -> None:
+    def _replay_future(self, view_id: Tuple[int, int]) -> None:
         for sender, body in self._future.pop(view_id, []):
             self.on_message(sender, body)

@@ -28,22 +28,42 @@ class View(NamedTuple):
 
     The first member of the view acts as the sequencer of the GM algorithm
     (and as the round-1 coordinator of the view-change consensus).
+
+    ``epoch`` counts group *reformations* (the recovery path that rebuilds
+    the group after an installed view loses its majority of alive members).
+    Views of a later epoch supersede every view of an earlier one regardless
+    of their ``view_id``, so view identities are ordered by the pair
+    ``(epoch, view_id)`` -- see :attr:`vid`.  Normal view changes inherit
+    their predecessor's epoch; all views of a reformation-free run are
+    epoch 0.
     """
 
     view_id: int
     members: Tuple[int, ...]
+    epoch: int = 0
 
     @property
     def sequencer(self) -> int:
         """The process acting as sequencer in this view."""
         return self.members[0]
 
+    @property
+    def vid(self) -> Tuple[int, int]:
+        """The totally ordered view identity ``(epoch, view_id)``.
+
+        Protocol messages and fencing checks compare identities through this
+        pair: a reformed view (higher epoch) beats any late view of the old
+        epoch even when their ``view_id`` values collide.
+        """
+        return (self.epoch, self.view_id)
+
     def majority(self) -> int:
         """Size of a majority quorum of this view."""
         return len(self.members) // 2 + 1
 
     def __str__(self) -> str:
-        return f"view#{self.view_id}{list(self.members)}"
+        era = f"@e{self.epoch}" if self.epoch else ""
+        return f"view#{self.view_id}{era}{list(self.members)}"
 
 
 DeliveryListener = Callable[[BroadcastID, Any], None]

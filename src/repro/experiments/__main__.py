@@ -12,16 +12,21 @@ processes; the tables are bit-identical to a serial run.  With
 resumes where it stopped and shared points (e.g. the no-crash curves of
 Figs. 4 and 5 in quick mode) are simulated only once.
 
-Beyond the figures, ``--scenario`` runs any of the seven scenario kinds as
+Beyond the figures, ``--scenario`` runs any of the eight scenario kinds as
 an ad-hoc campaign grid (delegating to ``python -m repro.campaigns``, whose
 options apply -- including ``--stack`` / ``--fd`` for sweeping registered
-protocol stacks and failure detector kinds)::
+protocol stacks and failure detector kinds, ``--hb-period`` /
+``--hb-timeout`` for the heartbeat detector plane, and
+``--reformation-timeout`` for the ``gm-reform`` recovery window)::
 
     python -m repro.experiments --scenario churn --churn-rate 2 \\
         --throughputs 10 100 --jobs 4 --cache-dir .cache
 
     python -m repro.experiments --scenario churn-steady --stack fd \\
-        --fd qos heartbeat --detection-time 10
+        --fd qos heartbeat --hb-period 20 --hb-timeout 60
+
+    python -m repro.experiments --scenario view-majority-loss \\
+        --stack gm gm-reform --reformation-timeout 500
 """
 
 from __future__ import annotations

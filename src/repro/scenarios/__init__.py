@@ -13,13 +13,16 @@ Beyond-paper scenarios unlocked by the declarative fault-schedule engine
 * :func:`run_correlated_crash` -- a simultaneous multi-process crash inside
   the measured window,
 * :func:`run_churn_steady`     -- Poisson crash-recovery churn with rejoin,
-* :func:`run_asymmetric_qos`   -- one flaky failure detector pair.
+* :func:`run_asymmetric_qos`   -- one flaky failure detector pair,
+* :func:`run_view_majority_loss` -- the deterministic view-majority-loss
+  blocked state, measuring time-to-reformation under ``gm-reform``.
 """
 
 from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_view_majority_loss,
 )
 from repro.scenarios.faults import (
     CorrelatedCrash,
@@ -30,7 +33,12 @@ from repro.scenarios.faults import (
     SuspectDuring,
 )
 from repro.scenarios.results import ScenarioResult, TransientResult
-from repro.scenarios.runner import ProbeSpec, ScenarioRunner, SteadyStateSpec
+from repro.scenarios.runner import (
+    ProbeSpec,
+    ReformationSpec,
+    ScenarioRunner,
+    SteadyStateSpec,
+)
 from repro.scenarios.steady import (
     run_crash_steady,
     run_normal_steady,
@@ -45,6 +53,7 @@ __all__ = [
     "PoissonChurn",
     "ProbeSpec",
     "RecoverAt",
+    "ReformationSpec",
     "ScenarioResult",
     "ScenarioRunner",
     "SteadyStateSpec",
@@ -57,5 +66,6 @@ __all__ = [
     "run_crash_transient",
     "run_normal_steady",
     "run_suspicion_steady",
+    "run_view_majority_loss",
     "sweep_crash_transient",
 ]

@@ -27,12 +27,20 @@ from typing import Optional, Sequence
 
 from repro.failure_detectors.qos import QoSConfig
 from repro.metrics.stats import interarrival_from_throughput
-from repro.scenarios.faults import CorrelatedCrash, FaultSchedule, PoissonChurn
+from repro.scenarios.faults import (
+    VML_CRASH_TIME,
+    VML_SUSPECT_DURATION,
+    VML_SUSPECT_START,
+    CorrelatedCrash,
+    FaultSchedule,
+    PoissonChurn,
+)
 from repro.scenarios.results import ScenarioResult
 from repro.scenarios.runner import (
     DEFAULT_MAX_EVENTS,
     DEFAULT_MESSAGES,
     DEFAULT_WARMUP_FRACTION,
+    ReformationSpec,
     ScenarioRunner,
     SteadyStateSpec,
 )
@@ -42,6 +50,7 @@ __all__ = [
     "run_asymmetric_qos",
     "run_churn_steady",
     "run_correlated_crash",
+    "run_view_majority_loss",
 ]
 
 
@@ -140,6 +149,62 @@ def run_churn_steady(
         },
     )
     return ScenarioRunner().run_steady(spec)
+
+
+def run_view_majority_loss(
+    config: SystemConfig,
+    throughput: float,
+    detection_time: float = 10.0,
+    suspect_start: float = VML_SUSPECT_START,
+    suspect_duration: float = VML_SUSPECT_DURATION,
+    crash_time: float = VML_CRASH_TIME,
+    reformation_timeout: Optional[float] = None,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Latency and time-to-reformation across a view-majority loss.
+
+    The canonical blocked-state schedule
+    (:meth:`FaultSchedule.view_majority_loss`) first shrinks the installed
+    view through a window of wrong suspicions, then really crashes just
+    enough of the shrunken view that its alive members lose the view
+    majority -- the GM algorithm's documented permanent-deadlock state,
+    which the ``gm-reform`` stack converts into a measurable recovery: the
+    result's ``params`` report whether a successor view was installed and
+    how long after the blocking crash (``time_to_reformation``).
+
+    ``reformation_timeout`` overrides the config's reformation window (only
+    meaningful for reformation-capable stacks); odd ``n >= 3`` only.
+    """
+    if reformation_timeout is not None:
+        config = replace(config, reformation_timeout=reformation_timeout)
+    faults = FaultSchedule.view_majority_loss(
+        config.n,
+        suspect_start=suspect_start,
+        suspect_duration=suspect_duration,
+        crash_time=crash_time,
+    )
+    spec = ReformationSpec(
+        scenario="view-majority-loss",
+        config=replace(config, fd=QoSConfig(detection_time=detection_time)),
+        throughput=throughput,
+        block_time=crash_time,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=faults,
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "detection_time": detection_time,
+            "suspect_start": suspect_start,
+            "suspect_duration": suspect_duration,
+            "crash_time": crash_time,
+            "reformation_timeout": config.reformation_timeout,
+        },
+    )
+    return ScenarioRunner().run_reformation(spec)
 
 
 def run_asymmetric_qos(

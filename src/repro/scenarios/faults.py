@@ -28,6 +28,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import RandomStreams
 
+#: Canonical timing of the view-majority-loss schedule: the wrong-suspicion
+#: window and the instant of the blocking crash inside it.  Shared with the
+#: scenario driver defaults and with campaign-spec validation, so an
+#: out-of-window ``crash_time`` is rejected before any simulation starts.
+VML_SUSPECT_START = 50.0
+VML_SUSPECT_DURATION = 400.0
+VML_CRASH_TIME = 300.0
+
 
 class FaultEvent:
     """Base class of all fault-schedule events (marker only)."""
@@ -210,6 +218,60 @@ class FaultSchedule:
         return FaultSchedule(
             [CrashAt(0.0, pid, permanent_suspicion=True) for pid in pids]
         )
+
+    @staticmethod
+    def view_majority_loss(
+        n: int,
+        suspect_start: float = VML_SUSPECT_START,
+        suspect_duration: float = VML_SUSPECT_DURATION,
+        crash_time: float = VML_CRASH_TIME,
+    ) -> "FaultSchedule":
+        """The canonical schedule driving a GM group into view-majority loss.
+
+        Two composed faults reproduce the blocked state deterministically:
+
+        1. a :class:`SuspectDuring` window makes every monitor wrongly
+           suspect the ``(n - 1) // 2`` highest-numbered processes, so the
+           installed view shrinks to the ``ceil((n + 1) / 2)`` lowest pids;
+        2. a :class:`CrashAt` then *really* crashes the highest-numbered
+           members of the shrunken view -- just enough of them that the
+           alive members no longer form a majority of that view, while a
+           global majority of all ``n`` processes stays alive.
+
+        Under the plain GM stacks no view change can ever decide again (the
+        paper's liveness limit, detected by the
+        ``gm_blocked_by_view_majority_loss`` property); under ``gm-reform``
+        the stalled view change escalates to a reformation.  The suspicion
+        window ends before a default-timeout reformation proposes, so the
+        wrongly excluded processes are trusted again and re-admitted.
+
+        Only odd ``n >= 3`` admits the single-window construction (for even
+        ``n`` the first shrink cannot cross the view majority in one step).
+        """
+        if n < 3 or n % 2 == 0:
+            raise ValueError(
+                f"view-majority loss needs an odd group size >= 3, got n={n}"
+            )
+        if not suspect_start < crash_time < suspect_start + suspect_duration:
+            raise ValueError(
+                "the blocking crash must fire inside the suspicion window "
+                f"(need {suspect_start} < crash_time < "
+                f"{suspect_start + suspect_duration}, got {crash_time}); outside "
+                "it the view keeps an alive majority and never blocks"
+            )
+        suspected = tuple(range(n - (n - 1) // 2, n))
+        shrunken = n - len(suspected)
+        # Crash the highest members of the shrunken view {0..shrunken-1},
+        # leaving the sequencer p0 alive: one fewer alive member than the
+        # shrunken view's majority, the minimal blocking crash count.
+        crash_count = shrunken - shrunken // 2
+        crashed = tuple(range(shrunken - crash_count, shrunken))
+        events: List[FaultEvent] = [
+            SuspectDuring(suspect_start, suspect_duration, target)
+            for target in suspected
+        ]
+        events.extend(CrashAt(crash_time, pid) for pid in crashed)
+        return FaultSchedule(events)
 
     # ------------------------------------------------------------------ queries
 

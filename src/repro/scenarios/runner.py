@@ -22,7 +22,7 @@ usage are identical, so golden results carry over unchanged.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Sequence, Set
 
 from repro.core.types import BroadcastID
@@ -62,6 +62,34 @@ class SteadyStateSpec:
 
 
 @dataclass
+class ReformationSpec(SteadyStateSpec):
+    """One recovery measurement: drive the group into view-majority loss.
+
+    A steady-state measurement whose fault schedule (typically
+    :meth:`FaultSchedule.view_majority_loss`) blocks the installed view at
+    ``block_time``; the runner additionally watches every membership
+    service for view installations and reports, in the result ``params``:
+
+    * ``reformed``             -- whether any process installed a view of a
+      later epoch (i.e. a reformation decided); ``None`` for stacks
+      without a membership service (``"fd"``), which run the same workload
+      and faults but have no views to reform,
+    * ``time_to_reformation``  -- first such installation time minus
+      ``block_time`` (``None`` when the group stays blocked, as the plain
+      GM stacks do),
+    * ``reformed_members``     -- membership of the first reformed view,
+    * ``views_installed``      -- total view installations across processes.
+
+    ``senders`` / ``reassign_crashed_senders`` are forced by the runner:
+    every process sends (wrongly excluded senders flush their buffered
+    messages when the reformation re-admits them) and crashed senders'
+    arrivals are redirected.
+    """
+
+    block_time: float = 0.0
+
+
+@dataclass
 class ProbeSpec:
     """One transient measurement: background workload + faults + tagged probe."""
 
@@ -80,7 +108,46 @@ class ScenarioRunner:
 
     def run_steady(self, spec: SteadyStateSpec) -> ScenarioResult:
         """Run one steady-state scenario point and return its result."""
+        return self._measure_steady(build_system(spec.config), spec)
+
+    def run_reformation(self, spec: ReformationSpec) -> ScenarioResult:
+        """Run one view-majority-loss point, measuring time-to-reformation."""
         system = build_system(spec.config)
+        watches_views = system.stack_spec.uses_membership
+        installs: list = []
+        if watches_views:
+            for pid, membership in enumerate(system.memberships):
+                membership.add_view_listener(
+                    lambda view, _pid=pid: installs.append(
+                        (system.sim.now, _pid, view)
+                    )
+                )
+        steady = replace(
+            spec,
+            senders=list(range(spec.config.n)),
+            reassign_crashed_senders=True,
+            params=dict(spec.params),
+        )
+        result = self._measure_steady(system, steady)
+        reformed = [
+            (time, pid, view) for time, pid, view in installs if view.epoch > 0
+        ]
+        first = min(reformed, default=None)
+        result.params.update(
+            {
+                "block_time": spec.block_time,
+                "reformed": bool(reformed) if watches_views else None,
+                "time_to_reformation": (
+                    None if first is None else first[0] - spec.block_time
+                ),
+                "reformed_members": None if first is None else list(first[2].members),
+                "views_installed": len(installs) if watches_views else None,
+            }
+        )
+        return result
+
+    def _measure_steady(self, system, spec: SteadyStateSpec) -> ScenarioResult:
+        """The shared steady-state measurement loop on a prepared system."""
         spec.faults.apply_pre(system)
 
         recorder = LatencyRecorder()

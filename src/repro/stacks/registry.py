@@ -2,14 +2,17 @@
 
 The system assembler (:class:`repro.system.BroadcastSystem`) resolves its
 layer composition here instead of hard-coding an ``if algorithm == ...``
-chain.  Three stacks ship with the paper reproduction:
+chain.  Four stacks ship with the paper reproduction:
 
 * ``"fd"``            -- reliable broadcast + consensus + Chandra-Toueg
   atomic broadcast (the *FD algorithm*),
 * ``"gm"``            -- reliable broadcast + consensus + group membership +
   fixed-sequencer uniform atomic broadcast (the *GM algorithm*),
 * ``"gm-nonuniform"`` -- the non-uniform variant of the GM algorithm
-  (Section 8 extension).
+  (Section 8 extension),
+* ``"gm-reform"``     -- the GM algorithm plus the timeout-gated group
+  reformation layer, which restores liveness after an installed view loses
+  its majority of alive members (beyond-paper extension).
 
 and three failure detector kinds:
 
@@ -174,8 +177,14 @@ def _build_fd_stack(system, process, rbcast, consensus) -> StackLayers:
     )
 
 
-def _make_gm_builder(uniform: bool):
-    """Layer builder of the GM algorithm (uniform or non-uniform delivery)."""
+def _make_gm_builder(uniform: bool, reform: bool = False):
+    """Layer builder of the GM algorithm (uniform or non-uniform delivery).
+
+    ``reform`` arms the group-reformation path: the membership service is
+    built with the configuration's ``reformation_timeout`` so a stalled view
+    change escalates to a full-static-set reformation consensus instead of
+    blocking forever after view-majority loss.
+    """
 
     def _build_gm_stack(system, process, rbcast, consensus) -> StackLayers:
         from repro.core.group_membership import GroupMembership
@@ -185,6 +194,9 @@ def _make_gm_builder(uniform: bool):
             process,
             consensus,
             join_retry_interval=system.config.join_retry_interval,
+            reformation_timeout=(
+                system.config.reformation_timeout if reform else None
+            ),
         )
         abcast = SequencerAtomicBroadcast(
             process,
@@ -247,6 +259,21 @@ def _register_builtins() -> None:
             ),
             build=_make_gm_builder(uniform=False),
             uses_membership=True,
+        )
+    )
+    register_stack(
+        StackSpec(
+            name="gm-reform",
+            description=(
+                "GM algorithm with timeout-gated group reformation: a "
+                "stalled view change escalates to a full-static-set "
+                "consensus that rebuilds the group after view-majority loss"
+            ),
+            build=_make_gm_builder(uniform=True, reform=True),
+            uses_membership=True,
+            # Capability flag tooling keys on: campaign grids apply the
+            # reformation-timeout sweep dimension to stacks carrying it.
+            params=(("reformation", True),),
         )
     )
     register_fd_kind("qos", _qos_fabric)

@@ -10,6 +10,8 @@ resolved through the **stack registry** (:mod:`repro.stacks`):
   fixed-sequencer uniform atomic broadcast (the *GM algorithm*),
 * ``"gm-nonuniform"`` -- the non-uniform variant of the GM algorithm
   (extension discussed in Section 8 of the paper),
+* ``"gm-reform"``     -- the GM algorithm with the timeout-gated group
+  reformation layer (recovers from view-majority loss),
 
 each combinable with any registered failure detector kind (``"qos"``,
 ``"heartbeat"``, ``"perfect"``) -- either via ``fd_kind=`` or a slash-
@@ -93,6 +95,13 @@ class SystemConfig:
     join_retry_interval:
         Retry period of the join protocol of wrongly excluded processes
         (GM stacks only).
+    reformation_timeout:
+        How long a view change may stall (ms) before a member proposes a
+        group *reformation* -- a consensus over the full static process set
+        deciding the successor view, restoring liveness after an installed
+        view loses its majority of alive members.  Only stacks built with
+        reformation support read it (``"gm-reform"``); the paper's stacks
+        ignore it and keep the paper's blocking behaviour.
     pipeline_depth:
         How many ordering rounds (consensus instances / sequencer batches)
         may be in flight at once.  The same value is applied to every stack
@@ -115,6 +124,7 @@ class SystemConfig:
     heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
     renumber_coordinators: bool = True
     join_retry_interval: float = 500.0
+    reformation_timeout: float = 500.0
     pipeline_depth: int = 2
 
     def __init__(
@@ -129,6 +139,7 @@ class SystemConfig:
         heartbeat: Optional[HeartbeatConfig] = None,
         renumber_coordinators: bool = True,
         join_retry_interval: float = 500.0,
+        reformation_timeout: float = 500.0,
         pipeline_depth: int = 2,
         algorithm: Optional[str] = None,
     ) -> None:
@@ -146,6 +157,10 @@ class SystemConfig:
         spec, resolved_kind = stack_registry.resolve(stack, fd_kind)
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
+        if reformation_timeout <= 0:
+            raise ValueError(
+                f"reformation_timeout must be > 0 ms, got {reformation_timeout}"
+            )
         set_field = object.__setattr__
         set_field(self, "n", n)
         set_field(self, "stack", spec.name)
@@ -157,6 +172,7 @@ class SystemConfig:
         set_field(self, "heartbeat", heartbeat if heartbeat is not None else HeartbeatConfig())
         set_field(self, "renumber_coordinators", renumber_coordinators)
         set_field(self, "join_retry_interval", join_retry_interval)
+        set_field(self, "reformation_timeout", reformation_timeout)
         set_field(self, "pipeline_depth", pipeline_depth)
 
     @property

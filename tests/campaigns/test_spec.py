@@ -219,3 +219,114 @@ class TestFdKindGuards:
         with pytest.warns(DeprecationWarning):
             with pytest.raises(ValueError, match="conflicting"):
                 PointSpec(kind="normal-steady", stack="fd", algorithm="gm")
+
+
+class TestReformationAndHeartbeatDimensions:
+    """The v4 sweep dimensions: reformation timeout and heartbeat plane."""
+
+    def test_new_dimensions_enter_the_cache_key(self):
+        base = PointSpec(kind="view-majority-loss", stack="gm-reform", detection_time=10.0)
+        variants = [
+            PointSpec(
+                kind="view-majority-loss",
+                stack="gm-reform",
+                detection_time=10.0,
+                reformation_timeout=800.0,
+            ),
+            PointSpec(
+                kind="normal-steady", stack="gm", fd_kind="heartbeat", heartbeat_period=20.0
+            ),
+            PointSpec(
+                kind="normal-steady", stack="gm", fd_kind="heartbeat", heartbeat_timeout=90.0
+            ),
+        ]
+        keys = {point.key() for point in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+        for point in [base] + variants:
+            for field in ("reformation_timeout", "heartbeat_period", "heartbeat_timeout"):
+                assert field in point.as_dict()
+
+    def test_view_majority_loss_requires_odd_n(self):
+        with pytest.raises(ValueError, match="odd group size"):
+            PointSpec(kind="view-majority-loss", stack="gm-reform", n=4)
+        PointSpec(kind="view-majority-loss", stack="gm-reform", n=5)  # fine
+
+    def test_negative_knobs_rejected(self):
+        for knob in ("reformation_timeout", "heartbeat_period", "heartbeat_timeout"):
+            with pytest.raises(ValueError, match=knob):
+                PointSpec(kind="normal-steady", **{knob: -1.0})
+
+    def test_knobs_reach_the_system_config(self):
+        point = PointSpec(
+            kind="view-majority-loss",
+            stack="gm-reform",
+            reformation_timeout=750.0,
+        )
+        assert point.config().reformation_timeout == 750.0
+        hb = PointSpec(
+            kind="normal-steady",
+            stack="gm",
+            fd_kind="heartbeat",
+            heartbeat_period=20.0,
+        ).config().heartbeat
+        assert hb.period == 20.0
+        assert hb.timeout == 30.0  # unset knob keeps the default
+
+    def test_zero_knobs_keep_defaults(self):
+        point = PointSpec(kind="view-majority-loss", stack="gm-reform")
+        config = point.config()
+        assert config.reformation_timeout == 500.0
+        assert config.heartbeat.period == 10.0
+
+    def test_grid_scopes_the_reformation_knob_by_stack_capability(self):
+        campaign = grid(
+            "view-majority-loss",
+            stacks=("gm", "gm-reform"),
+            throughputs=(10.0,),
+            reformation_timeout=800.0,
+            heartbeat_period=25.0,
+        )
+        by_stack = {point.stack: point for point in campaign.points()}
+        # Only the reformation-capable stack reads the knob; scoping it by
+        # stack (not kind) keeps e.g. churn sweeps of the knob honest.
+        assert by_stack["gm-reform"].reformation_timeout == 800.0
+        assert by_stack["gm"].reformation_timeout == 0.0
+        for point in campaign.points():
+            assert point.heartbeat_period == 0.0  # qos fd kind: knob inert
+
+    def test_grid_applies_reformation_knob_under_any_kind(self):
+        campaign = grid(
+            "churn-steady",
+            stacks=("gm-reform",),
+            throughputs=(10.0,),
+            reformation_timeout=250.0,
+        )
+        (point,) = campaign.points()
+        assert point.reformation_timeout == 250.0
+        assert point.config().reformation_timeout == 250.0
+
+    def test_out_of_window_crash_time_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="suspicion window"):
+            PointSpec(kind="view-majority-loss", stack="gm-reform", crash_time=500.0)
+        PointSpec(kind="view-majority-loss", stack="gm-reform", crash_time=200.0)
+
+    def test_grid_heartbeat_knobs_follow_the_fd_axis(self):
+        campaign = grid(
+            "normal-steady",
+            stacks=("gm",),
+            fd_kinds=("qos", "heartbeat"),
+            throughputs=(10.0,),
+            heartbeat_period=25.0,
+            heartbeat_timeout=75.0,
+        )
+        by_kind = {point.fd_kind: point for point in campaign.points()}
+        assert by_kind["heartbeat"].heartbeat_period == 25.0
+        assert by_kind["heartbeat"].heartbeat_timeout == 75.0
+        assert by_kind["qos"].heartbeat_period == 0.0
+
+    def test_label_mentions_the_reformation_window(self):
+        point = PointSpec(
+            kind="view-majority-loss", stack="gm-reform", reformation_timeout=800.0
+        )
+        assert "reform=800ms" in point.label()

@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import QoSConfig, SystemConfig, build_system
-from repro.scenarios.faults import CorrelatedCrash, FaultSchedule
+from repro.scenarios.faults import CorrelatedCrash, CrashAt, FaultSchedule
 from tests.conftest import assert_no_duplicates, assert_prefix_consistent
 
 
@@ -151,9 +151,13 @@ def fault_schedules(draw):
     One "slot" of concurrently-down processes is churned through sequential
     crash/recover windows; with n = 5 a second permanently-crashed process or
     a correlated pair may use the remaining budget.
+
+    ``gm-reform`` runs under the same schedules: a slow view change may then
+    trigger a (fenced) reformation racing the normal path, and the safety
+    properties must survive either winner.
     """
     n = draw(st.sampled_from([3, 5]))
-    algorithm = draw(st.sampled_from(["fd", "gm"]))
+    algorithm = draw(st.sampled_from(["fd", "gm", "gm-reform"]))
     seed = draw(st.integers(min_value=0, max_value=10_000))
     detection_time = draw(st.sampled_from([0.0, 5.0, 20.0]))
 
@@ -245,3 +249,90 @@ class TestFaultScheduleProperties:
         for pid in stable:
             delivered = {payload for _bid, payload in system.abcast(pid).delivered}
             assert required <= delivered
+
+
+@st.composite
+def majority_loss_cases(draw):
+    """The canonical view-majority-loss state plus a random workload."""
+    n = draw(st.sampled_from([3, 5]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    reformation_timeout = draw(st.sampled_from([300.0, 500.0, 900.0]))
+    message_count = draw(st.integers(min_value=1, max_value=8))
+    arrivals = []
+    time = 1.0
+    for index in range(message_count):
+        # Spread arrivals across the pre-block, blocked and reformed phases.
+        time += draw(st.floats(min_value=10.0, max_value=600.0))
+        sender = draw(st.integers(min_value=0, max_value=n - 1))
+        arrivals.append((time, sender, f"m{index}"))
+    return n, seed, reformation_timeout, arrivals
+
+
+class TestReformationProperties:
+    """The state flagged by ``gm_blocked_by_view_majority_loss`` recovers
+    under ``gm-reform``: a successor view is installed, total order and
+    agreement hold through the reformation, and no split-brain survives
+    (every alive member converges on one view of the reformed epoch)."""
+
+    def run_blocked(self, n, stack, seed, reformation_timeout, arrivals):
+        config = SystemConfig(
+            n=n,
+            stack=stack,
+            seed=seed,
+            fd=QoSConfig(detection_time=10.0),
+            reformation_timeout=reformation_timeout,
+        )
+        system = build_system(config)
+        system.start()
+        schedule = FaultSchedule.view_majority_loss(n)
+        crashed = {
+            event.pid for event in schedule.events if isinstance(event, CrashAt)
+        }
+        schedule.apply(system)
+        for time, sender, payload in arrivals:
+            system.broadcast_at(time, sender, payload)
+        system.run(until=60_000.0, max_events=1_500_000)
+        return system, crashed
+
+    @given(case=majority_loss_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_blocked_state_recovers_under_gm_reform(self, case):
+        n, seed, reformation_timeout, arrivals = case
+        system, crashed = self.run_blocked(
+            n, "gm-reform", seed, reformation_timeout, arrivals
+        )
+        # The very state that blocks the plain GM stacks is resolved.
+        assert not gm_blocked_by_view_majority_loss(system, crashed)
+        alive = [pid for pid in range(n) if pid not in crashed]
+        members = [pid for pid in alive if system.membership(pid).is_member()]
+        views = {system.membership(pid).view for pid in members}
+        # No split-brain: one reformed view, every alive process inside it.
+        assert len(views) == 1
+        (view,) = views
+        assert view.epoch >= 1
+        assert set(members) == set(view.members) == set(alive)
+        # Safety through the reformation: total order and integrity...
+        sequences = system.delivery_sequences()
+        assert_prefix_consistent(sequences)
+        assert_no_duplicates(sequences)
+        # ...and agreement plus validity among the alive processes: every
+        # alive sender's messages deliver everywhere, identically.
+        logs = {pid: system.abcast(pid).delivered_ids() for pid in alive}
+        reference = logs[alive[0]]
+        for pid in alive[1:]:
+            assert logs[pid] == reference
+        required = {p for _t, s, p in arrivals if s not in crashed}
+        for pid in alive:
+            delivered = {payload for _bid, payload in system.abcast(pid).delivered}
+            assert required <= delivered
+
+    @given(case=majority_loss_cases())
+    @settings(max_examples=8, deadline=None)
+    def test_blocked_state_stays_blocked_under_plain_gm(self, case):
+        n, seed, reformation_timeout, arrivals = case
+        system, crashed = self.run_blocked(n, "gm", seed, reformation_timeout, arrivals)
+        assert gm_blocked_by_view_majority_loss(system, crashed)
+        # Safety still holds in the blocked state.
+        sequences = system.delivery_sequences()
+        assert_prefix_consistent(sequences)
+        assert_no_duplicates(sequences)

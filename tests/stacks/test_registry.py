@@ -24,7 +24,7 @@ from repro.stacks import (
 
 class TestBuiltinRegistrations:
     def test_builtin_stacks_present(self):
-        assert available_stacks() == ("fd", "gm", "gm-nonuniform")
+        assert available_stacks() == ("fd", "gm", "gm-nonuniform", "gm-reform")
 
     def test_builtin_fd_kinds_present(self):
         assert available_fd_kinds() == ("qos", "heartbeat", "perfect")
@@ -40,6 +40,7 @@ class TestBuiltinRegistrations:
         assert not get_stack("fd").uses_membership
         assert get_stack("gm").uses_membership
         assert get_stack("gm-nonuniform").uses_membership
+        assert get_stack("gm-reform").uses_membership
 
     def test_unknown_names_raise_with_candidates(self):
         with pytest.raises(ValueError, match="expected one of"):
