@@ -1,0 +1,262 @@
+"""Instrumentation overhead benchmark: the zero-overhead off path, gated.
+
+The instrumentation layer (:mod:`repro.obs`) promises a *zero-overhead off
+path*: with tracing off, the simulator selects a hook-free run loop up
+front, the network branches on a ``None`` check, and the protocol layers
+call empty methods on the :data:`repro.obs.NULL` singleton.  This benchmark
+holds that promise to a number:
+
+* **kernel** -- the 20k-chained-ticks microbenchmark of
+  ``bench_simulator_micro``, run three ways: a hand-replicated *seed loop*
+  (the pre-instrumentation event loop, pumped over the same queue
+  internals), the *off* path (``Simulator.run()`` with no instrumentation)
+  and the *on* path (with an :class:`~repro.obs.Instrumentation` attached).
+  The off path must stay within ``GATE`` of the seed-loop control -- this
+  is the in-process equivalent of "within 2 % of the seed repository".
+* **end-to-end fd / gm** -- 300 messages ordered by each algorithm, off vs
+  on, reporting the full-stack cost of enabling metrics + event recording.
+
+Artifacts land in ``benchmarks/output/``: the human-readable report, one
+``instrumentation-{off,on}.metrics.json`` timing payload per mode (the on
+payload embeds the instrumented end-to-end runs' counter snapshots) and
+``BENCH_instrumentation.json``, the first point of the perf trajectory.
+
+Usage::
+
+    python benchmarks/bench_instrumentation.py
+    REPRO_BENCH_SMOKE=1 python benchmarks/bench_instrumentation.py
+    python -m pytest benchmarks/bench_instrumentation.py -q -s
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+from typing import Callable, Dict, Tuple
+
+from repro import SystemConfig, build_system
+from repro.obs import Instrumentation, metrics_snapshot
+from repro.sim.engine import Simulator
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+#: Chained kernel events per measurement.
+TICKS = 4_000 if SMOKE else 20_000
+#: End-to-end messages per measurement.
+MESSAGES = 60 if SMOKE else 300
+#: Interleaved measurement rounds; the best (minimum) time of each mode is
+#: compared, which damps scheduler noise far better than averaging.
+ROUNDS = 3 if SMOKE else 5
+#: Allowed off-path overhead over the seed-loop control.  The full-size run
+#: gates at the PR's 2 %; smoke mode measures far fewer events per round, so
+#: timer granularity and CI-runner noise need more headroom.
+GATE = 0.15 if SMOKE else 0.02
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+# ------------------------------------------------------------------ kernel
+
+
+def _chain(simulator: Simulator, ticks: int) -> None:
+    remaining = [ticks]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            simulator.schedule(0.1, tick)
+
+    simulator.schedule(0.1, tick)
+
+
+def kernel_seed_loop() -> int:
+    """The seed repository's event loop, replicated over the same queue.
+
+    This is the pre-instrumentation hot loop verbatim (time/cancellation/
+    budget checks included), pumped by hand so the comparison isolates what
+    the off-path refactor added to ``Simulator.run()``.
+    """
+    simulator = Simulator()
+    _chain(simulator, TICKS)
+    # The loop below mirrors the seed's ``Simulator.run`` body statement for
+    # statement (attribute lookups included) so the off-path comparison is
+    # code-shape-fair, not a hand-optimised strawman.
+    until = None
+    max_events = None
+    executed = 0
+    while simulator._queue and not simulator._stopped:
+        if max_events is not None and executed >= max_events:
+            break
+        head = simulator._queue[0]
+        if until is not None and head.time > until:
+            simulator._now = until
+            break
+        heapq.heappop(simulator._queue)
+        if head.cancelled:
+            continue
+        simulator._now = head.time
+        head.callback(*head.args)
+        simulator._processed += 1
+        executed += 1
+    return executed
+
+
+def kernel_off() -> int:
+    simulator = Simulator()
+    _chain(simulator, TICKS)
+    simulator.run()
+    return simulator.events_processed
+
+
+def kernel_on() -> int:
+    simulator = Simulator()
+    simulator.set_instrumentation(Instrumentation())
+    _chain(simulator, TICKS)
+    simulator.run()
+    return simulator.events_processed
+
+
+# ------------------------------------------------------------------ end to end
+
+
+def end_to_end(stack: str, instrument: bool):
+    system = build_system(
+        SystemConfig(n=3, stack=stack, seed=1, instrument=instrument)
+    )
+    system.start()
+    for i in range(MESSAGES):
+        system.broadcast_at(1.0 + i * 2.0, i % 3, i)
+    system.run(until=1_000_000.0)
+    return system
+
+
+# ------------------------------------------------------------------ harness
+
+
+def measure_interleaved(cases: Dict[str, Callable[[], object]]) -> Dict[str, float]:
+    """Best wall time per case over ``ROUNDS`` interleaved rounds.
+
+    Every round times each case once, in order, so slow drift of the
+    machine (thermal, background load) hits all cases equally instead of
+    biasing whichever mode happened to run last; the per-case minimum then
+    discards the noisy rounds.
+    """
+    for fn in cases.values():  # warm-up round, untimed
+        fn()
+    best = {name: float("inf") for name in cases}
+    for _ in range(ROUNDS):
+        for name, fn in cases.items():
+            started = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - started)
+    return best
+
+
+def run_benchmark() -> Tuple[str, Dict[str, object]]:
+    """Measure every case; return (report text, machine-readable payload)."""
+    mode = "smoke" if SMOKE else "full"
+
+    times = measure_interleaved(
+        {
+            "kernel_seed": kernel_seed_loop,
+            "kernel_off": kernel_off,
+            "kernel_on": kernel_on,
+            "fd_off": lambda: end_to_end("fd", False),
+            "fd_on": lambda: end_to_end("fd", True),
+            "gm_off": lambda: end_to_end("gm", False),
+            "gm_on": lambda: end_to_end("gm", True),
+        }
+    )
+    off_vs_seed = times["kernel_off"] / times["kernel_seed"]
+
+    instrumented = end_to_end("fd", True)
+    snapshot = metrics_snapshot(instrumented, scenario="bench-instrumentation")
+
+    lines = [
+        f"instrumentation benchmark ({mode}: {TICKS} ticks, "
+        f"{MESSAGES} messages, best of {ROUNDS})",
+        f"{'case':<22} {'off s':>9} {'on s':>9} {'on/off':>8}",
+        (
+            f"{'kernel (vs seed loop)':<22} {times['kernel_off']:>9.4f} "
+            f"{times['kernel_on']:>9.4f} "
+            f"{times['kernel_on'] / times['kernel_off']:>7.2f}x"
+        ),
+        (
+            f"{'end-to-end fd':<22} {times['fd_off']:>9.4f} "
+            f"{times['fd_on']:>9.4f} {times['fd_on'] / times['fd_off']:>7.2f}x"
+        ),
+        (
+            f"{'end-to-end gm':<22} {times['gm_off']:>9.4f} "
+            f"{times['gm_on']:>9.4f} {times['gm_on'] / times['gm_off']:>7.2f}x"
+        ),
+        (
+            f"off path vs seed loop: {off_vs_seed:.4f}x "
+            f"(gate: <= {1 + GATE:.2f}x, seed {times['kernel_seed']:.4f} s)"
+        ),
+    ]
+    payload: Dict[str, object] = {
+        "mode": mode,
+        "ticks": TICKS,
+        "messages": MESSAGES,
+        "rounds": ROUNDS,
+        "times_s": times,
+        "off_vs_seed": off_vs_seed,
+        "gate": GATE,
+        "counters": snapshot["counters"],
+        "provenance": snapshot["provenance"],
+    }
+    return "\n".join(lines), payload
+
+
+def _write_artifacts(report: str, payload: Dict[str, object]) -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(
+        os.path.join(OUTPUT_DIR, "bench_instrumentation.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(report + "\n")
+    times = payload["times_s"]
+    off = {key: value for key, value in times.items() if key.endswith("_off")}
+    off["kernel_seed"] = times["kernel_seed"]
+    on = {key: value for key, value in times.items() if key.endswith("_on")}
+    for name, body in (
+        ("instrumentation-off.metrics.json", {"mode": payload["mode"], "times_s": off}),
+        (
+            "instrumentation-on.metrics.json",
+            {
+                "mode": payload["mode"],
+                "times_s": on,
+                "counters": payload["counters"],
+                "provenance": payload["provenance"],
+            },
+        ),
+        ("BENCH_instrumentation.json", payload),
+    ):
+        with open(os.path.join(OUTPUT_DIR, name), "w", encoding="utf-8") as handle:
+            json.dump(body, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def test_instrumentation_off_path_overhead():
+    """Pytest entry point: run, persist artifacts and gate the off path."""
+    report, payload = run_benchmark()
+    _write_artifacts(report, payload)
+    print()
+    print(report)
+    # The off path must be indistinguishable from the seed event loop.
+    assert payload["off_vs_seed"] <= 1 + GATE, (
+        f"instrumentation-off kernel is {payload['off_vs_seed']:.3f}x the seed "
+        f"loop (gate {1 + GATE:.2f}x)"
+    )
+    # Sanity on the instrumented runs: correct counters, bounded cost.
+    assert payload["counters"]["abcast.broadcasts"] == MESSAGES
+    times = payload["times_s"]
+    assert times["kernel_on"] / times["kernel_off"] < 10.0
+    assert times["fd_on"] / times["fd_off"] < 10.0
+
+
+if __name__ == "__main__":
+    report, payload = run_benchmark()
+    _write_artifacts(report, payload)
+    print(report)

@@ -28,6 +28,10 @@ Quickstart::
     print(system.abcast(0).delivered)
 """
 
+# Defined before the imports below: submodules (e.g. repro.obs.export) read
+# it back during package initialisation to stamp provenance.
+__version__ = "1.0.0"
+
 from repro.core.types import AtomicBroadcast, BroadcastID, View
 from repro.failure_detectors.heartbeat import HeartbeatConfig
 from repro.failure_detectors.qos import QoSConfig
@@ -39,8 +43,6 @@ from repro.stacks import (
     register_stack,
 )
 from repro.system import ALGORITHMS, BroadcastSystem, SystemConfig, build_system
-
-__version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",

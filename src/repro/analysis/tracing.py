@@ -7,6 +7,14 @@ model (time, sender, remote destinations, protocol), which makes that kind
 of claim directly checkable; :class:`DeliveryTraceRecorder` captures every
 A-delivery.  Both are used by the integration tests and are handy for
 debugging protocol changes.
+
+Both recorders are plain subscribers of the instrumentation hook API
+(:mod:`repro.obs`): attaching one enables the system's instrumentation and
+subscribes to the relevant hook; :meth:`~MessageTraceRecorder.detach`
+unsubscribes.  (Earlier versions spliced into ``network.send`` by attribute
+assignment, which broke when two stacked recorders were detached in attach
+order -- restoring the saved ``send`` re-installed the other recorder's
+dead closure.  Subscriptions compose in any order.)
 """
 
 from __future__ import annotations
@@ -39,24 +47,24 @@ class MessageTraceRecorder:
         self.system = system
         self.include_protocols = include_protocols
         self.messages: List[TracedMessage] = []
-        self._original_send = system.network.send
-        system.network.send = self._recording_send
+        self._obs = system.enable_instrumentation()
+        self._obs.subscribe("message_send", self._on_send)
 
-    def _recording_send(self, message) -> None:
+    def _on_send(self, time: float, message, dropped: bool) -> None:
         if self.include_protocols is None or message.protocol in self.include_protocols:
             self.messages.append(
                 TracedMessage(
-                    time=round(self.system.sim.now, 9),
+                    time=round(time, 9),
                     sender=message.sender,
                     destinations=tuple(sorted(message.remote_destinations())),
                     protocol=message.protocol,
                 )
             )
-        self._original_send(message)
 
     def detach(self) -> None:
-        """Stop recording and restore the original network send."""
-        self.system.network.send = self._original_send
+        """Stop recording (the instrumentation stays enabled; other
+        subscribers -- stacked recorders included -- keep working)."""
+        self._obs.unsubscribe("message_send", self._on_send)
 
     # ------------------------------------------------------------------ queries
 
@@ -101,17 +109,22 @@ class DeliveryTraceRecorder:
     def __init__(self, system) -> None:
         self.system = system
         self.deliveries: List[TracedDelivery] = []
-        system.add_delivery_listener(self._on_delivery)
+        self._obs = system.enable_instrumentation()
+        self._obs.subscribe("abcast_deliver", self._on_delivery)
 
-    def _on_delivery(self, pid: int, broadcast_id: BroadcastID, payload: Any) -> None:
+    def _on_delivery(self, time: float, pid: int, broadcast_id: BroadcastID, payload: Any) -> None:
         self.deliveries.append(
             TracedDelivery(
-                time=round(self.system.sim.now, 9),
+                time=round(time, 9),
                 process=pid,
                 broadcast_id=broadcast_id,
                 payload=payload,
             )
         )
+
+    def detach(self) -> None:
+        """Stop recording."""
+        self._obs.unsubscribe("abcast_deliver", self._on_delivery)
 
     # ------------------------------------------------------------------ queries
 

@@ -181,6 +181,21 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--name", default="adhoc", help="campaign name")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="run instrumented and write one <key>.metrics.json per point to DIR",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run instrumented and write per-run JSONL + Chrome trace files "
+            "to DIR (can be combined with --metrics-out)"
+        ),
+    )
     parser.add_argument("-o", "--output", default=None, help="write the report to a file")
     args = parser.parse_args(argv)
 
@@ -214,7 +229,12 @@ def main(argv: List[str] = None) -> int:
     )
 
     store = ResultStore(args.cache_dir) if args.cache_dir else None
-    runner = CampaignRunner(jobs=args.jobs, store=store)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        store=store,
+        instrument=args.metrics_out is not None,
+        trace_dir=args.trace,
+    )
     started = time.time()
     run = runner.run(campaign)
     elapsed = time.time() - started
@@ -224,6 +244,13 @@ def main(argv: List[str] = None) -> int:
         f"campaign {campaign.name!r}: {total} points "
         f"({run.executed} simulated, {run.cache_hits} from cache) in {elapsed:.1f} s"
     ]
+    if args.metrics_out:
+        from repro.obs.export import export_metrics_records
+
+        written = export_metrics_records(run.records, args.metrics_out)
+        lines.append(f"  wrote {written} metrics snapshots to {args.metrics_out}")
+    if args.trace:
+        lines.append(f"  trace files in {args.trace}")
     for series in campaign.series:
         lines.append(f"  series: {series.label}")
         for series_point in series.points:

@@ -17,7 +17,7 @@ from repro.scenarios.results import ScenarioResult, TransientResult
 def result_to_record(result: Any) -> Dict[str, Any]:
     """Serialise a ``ScenarioResult`` or ``TransientResult`` to a JSON dict."""
     if isinstance(result, ScenarioResult):
-        return {
+        record = {
             "type": "scenario",
             "scenario": result.scenario,
             "algorithm": result.algorithm,
@@ -30,8 +30,8 @@ def result_to_record(result: Any) -> Dict[str, Any]:
             "events": result.events,
             "params": _jsonable_params(result.params),
         }
-    if isinstance(result, TransientResult):
-        return {
+    elif isinstance(result, TransientResult):
+        record = {
             "type": "transient",
             "algorithm": result.algorithm,
             "n": result.n,
@@ -43,7 +43,13 @@ def result_to_record(result: Any) -> Dict[str, Any]:
             "failed_runs": result.failed_runs,
             "params": _jsonable_params(result.params),
         }
-    raise TypeError(f"cannot serialise {type(result).__name__} as a campaign record")
+    else:
+        raise TypeError(f"cannot serialise {type(result).__name__} as a campaign record")
+    # Uninstrumented runs carry no "metrics" key at all, so records (and the
+    # JSONL cache lines) of the common case are byte-identical to pre-v5 ones.
+    if result.metrics is not None:
+        record["metrics"] = result.metrics
+    return record
 
 
 def record_to_result(record: Dict[str, Any]):

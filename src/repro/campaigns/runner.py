@@ -9,7 +9,7 @@ paths bit-identical and the cache sound.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from repro.campaigns.records import record_to_result, result_to_record
@@ -30,13 +30,21 @@ from repro.scenarios.steady import (
 from repro.scenarios.transient import run_crash_transient
 
 
-def execute_point(point: PointSpec) -> Dict[str, Any]:
+def execute_point(point: PointSpec, trace_dir: Optional[str] = None) -> Dict[str, Any]:
     """Simulate one point and return its serialised record.
 
     Module-level (picklable) so worker processes can run it; always returns
     the record form so every execution mode feeds the aggregation layer the
-    same data.
+    same data.  ``trace_dir`` arms the process-wide trace sink
+    (:func:`repro.obs.export.set_trace_dir`) before the run -- in a pool
+    worker that is the only place the flag can be applied -- so instrumented
+    points drop their JSONL/Chrome trace files beside the campaign results,
+    prefixed by the point's cache key to stay collision-free.
     """
+    if trace_dir is not None:
+        from repro.obs.export import set_trace_dir
+
+        set_trace_dir(trace_dir, prefix=point.key()[:12])
     config = point.config()
     if point.kind == "normal-steady":
         result: Any = run_normal_steady(
@@ -112,10 +120,15 @@ class CampaignRun:
     records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     cache_hits: int = 0
     executed: int = 0
+    #: Declared-point key -> executed-point key, for points the runner
+    #: rewrote before execution (``instrument=True`` cloning).  Lets callers
+    #: keep looking results up by the points they declared.
+    aliases: Dict[str, str] = field(default_factory=dict)
 
     def record(self, point: PointSpec) -> Dict[str, Any]:
         """The record of ``point`` (KeyError if the point was not in the run)."""
-        return self.records[point.key()]
+        key = point.key()
+        return self.records[self.aliases.get(key, key)]
 
     def result(self, point: PointSpec):
         """The ``ScenarioResult`` / ``TransientResult`` of ``point``."""
@@ -133,11 +146,21 @@ class CampaignRunner:
     only executes what is missing.
     """
 
-    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        instrument: bool = False,
+        trace_dir: Optional[str] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
+        # Trace files only exist for instrumented runs, so asking for them
+        # implies instrumenting.
+        self.instrument = instrument or trace_dir is not None
+        self.trace_dir = trace_dir
         #: Statistics of the most recent :meth:`run` (for CLI reporting).
         self.last_run: Optional[CampaignRun] = None
 
@@ -147,28 +170,48 @@ class CampaignRunner:
         run = CampaignRun(campaign=campaign)
         pending: List[PointSpec] = []
         for point in points:
-            cached = self.store.get(point.key()) if self.store is not None else None
+            executed = self._executed_point(point)
+            if executed is not point:
+                run.aliases[point.key()] = executed.key()
+            cached = self.store.get(executed.key()) if self.store is not None else None
             if cached is not None:
-                run.records[point.key()] = cached
+                run.records[executed.key()] = cached
                 run.cache_hits += 1
             else:
-                pending.append(point)
+                pending.append(executed)
 
         if self.jobs > 1 and len(pending) > 1:
             self._run_parallel(pending, run)
         else:
-            for point in pending:
-                self._commit(point, execute_point(point), run)
+            try:
+                for point in pending:
+                    self._commit(point, execute_point(point, self.trace_dir), run)
+            finally:
+                if self.trace_dir is not None:
+                    # Serial execution armed the in-process trace sink;
+                    # disarm it so later runs in this process stay silent.
+                    from repro.obs.export import set_trace_dir
+
+                    set_trace_dir(None)
 
         run.executed = len(pending)
         self.last_run = run
         return run
 
+    def _executed_point(self, point: PointSpec) -> PointSpec:
+        """The point actually simulated: instrumented clone when requested."""
+        if self.instrument and not point.instrument:
+            return replace(point, instrument=True)
+        return point
+
     def _run_parallel(self, pending: List[PointSpec], run: CampaignRun) -> None:
         """Fan ``pending`` out over worker processes, committing as they finish."""
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(execute_point, point): point for point in pending}
+            futures = {
+                pool.submit(execute_point, point, self.trace_dir): point
+                for point in pending
+            }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)

@@ -54,7 +54,14 @@ SCENARIO_KINDS = (
 #: every point's canonical dict changed again.  Migration is the same as
 #: v2 -> v3: old v3 caches are never hit (version-prefixed keys cannot
 #: collide); delete them or leave them in place and re-simulate.
-SCHEMA_VERSION = 4
+#: v5: the instrumentation layer -- points gained the ``instrument`` flag
+#: and instrumented records carry a ``metrics`` snapshot.  ``instrument``
+#: enters the cache key on purpose: an instrumented and an uninstrumented
+#: execution of the same operating point simulate identically (pinned by
+#: the golden-neutrality tests) but produce different records, and a
+#: metrics-bearing record must never be satisfied by a metrics-less cache
+#: hit.  Migration as before: old v4 caches are simply never hit again.
+SCHEMA_VERSION = 5
 
 INFINITY = float("inf")
 
@@ -174,6 +181,10 @@ class PointSpec:
     heartbeat_timeout: float = 0.0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Run the point instrumented (:mod:`repro.obs`): the record gains a
+    #: ``metrics`` snapshot.  ``CampaignRunner(instrument=True)`` flips this
+    #: on every point of a campaign without the figures declaring it.
+    instrument: bool = False
     #: Deprecated alias of ``stack`` (not a field: never enters the key).
     algorithm: InitVar[Optional[str]] = None
 
@@ -267,6 +278,8 @@ class PointSpec:
                     timeout=self.heartbeat_timeout or defaults.timeout,
                 ),
             )
+        # ``instrument`` may also arrive via config_overrides; either wins.
+        extras["instrument"] = bool(extras.pop("instrument", False)) or self.instrument
         return SystemConfig(
             n=self.n,
             stack=self.stack,
@@ -310,6 +323,7 @@ class PointSpec:
             "config_overrides": {
                 name: _json_number(value) for name, value in self.config_overrides
             },
+            "instrument": bool(self.instrument),
         }
 
     def key(self) -> str:

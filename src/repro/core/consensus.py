@@ -109,6 +109,9 @@ class ConsensusInstance:
                 return
             self.round = round_number
             self.rounds_executed += 1
+            self.service._obs.consensus_round(
+                self.service.now, self.pid, self.cid, round_number
+            )
             coordinator = self.coordinator_of(round_number)
 
             if coordinator == self.pid:
@@ -517,6 +520,7 @@ class ConsensusService(Component):
             return self._instances[cid]
         instance = ConsensusInstance(self, cid, value, participants, coordinator_order)
         self._instances[cid] = instance
+        self._obs.consensus_started(self.now, self.pid, cid)
         if cid in self._decisions:
             instance.mark_decided(self._decisions[cid])
             return instance
@@ -593,6 +597,7 @@ class ConsensusService(Component):
         if cid in self._decisions:
             return
         self._decisions[cid] = value
+        self._obs.consensus_decided(self.now, self.pid, cid)
         instance = self._instances.get(cid)
         if instance is not None:
             instance.mark_decided(value)

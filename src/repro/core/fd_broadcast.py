@@ -319,6 +319,10 @@ class FDAtomicBroadcast(AtomicBroadcast):
         proposer, broadcast_ids = value
         self._decisions[k] = (proposer, tuple(broadcast_ids))
         self._ordered.update(broadcast_ids)
+        for broadcast_id in broadcast_ids:
+            # The decision fixes the message's place in the total order; the
+            # instrumentation keeps only the earliest report per message.
+            self._obs.abcast_sequenced(self.now, self.pid, broadcast_id)
         self._pending.difference_update(broadcast_ids)
         self._inflight_proposals.pop(k, None)
         while self._last_decided + 1 in self._decisions:

@@ -301,6 +301,7 @@ class GroupMembership(Component):
         if self._status != MEMBER:
             return
         self._status = VIEW_CHANGE_IN_PROGRESS
+        self._obs.view_change(self.now, self.pid, self._view.vid)
         if self._handler is not None:
             self._handler.on_view_change_started()
         if self.reformation_timeout is not None:
@@ -425,6 +426,7 @@ class GroupMembership(Component):
         if self._reform_epoch_proposed >= new_epoch:
             return
         self.reformations_proposed += 1
+        self._obs.reformation_proposed(self.now, self.pid, new_epoch)
         self._propose_reformation(new_epoch)
 
     def _propose_reformation(self, new_epoch: int) -> None:
@@ -531,6 +533,7 @@ class GroupMembership(Component):
         self._status = MEMBER
         self._recovering = False
         self.views_installed += 1
+        self._obs.view_installed(self.now, self.pid, view)
         self._reset_view_change_state()
         self._pending_joins.difference_update(view.members)
         if self._handler is not None:

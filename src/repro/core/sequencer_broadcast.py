@@ -218,6 +218,7 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
             self._assignments[broadcast_id] = self._seq_counter
             self._unstable[broadcast_id] = self._seq_counter
             self._batch_of[broadcast_id] = batch_id
+            self._obs.abcast_sequenced(self.now, self.pid, broadcast_id)
         self._unsequenced = []
         entries = tuple(entries)
         self._batch_entries[batch_id] = entries
@@ -248,6 +249,7 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
             for seqnum, broadcast_id in entries:
                 self._assignments[broadcast_id] = seqnum
                 self._batch_of[broadcast_id] = batch_id
+                self._obs.abcast_sequenced(self.now, self.pid, broadcast_id)
                 if not self.has_delivered(broadcast_id):
                     self._unstable[broadcast_id] = seqnum
         self._apply_stability(watermark)

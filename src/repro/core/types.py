@@ -122,6 +122,7 @@ class AtomicBroadcast(Component):
         return BroadcastID(self.pid, self._local_seq)
 
     def _notify_broadcast(self, broadcast_id: BroadcastID, payload: Any) -> None:
+        self._obs.abcast_broadcast(self.now, self.pid, broadcast_id, payload)
         for listener in list(self._broadcast_listeners):
             listener(broadcast_id, payload)
 
@@ -136,6 +137,7 @@ class AtomicBroadcast(Component):
             return False
         self._delivered_ids.add(broadcast_id)
         self.delivered.append((broadcast_id, payload))
+        self._obs.abcast_deliver(self.now, self.pid, broadcast_id, payload)
         for listener in list(self._delivery_listeners):
             listener(broadcast_id, payload)
         return True

@@ -87,6 +87,18 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     parser.add_argument("--check", action="store_true", help="also print the shape checks")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="run instrumented and write one <key>.metrics.json per point to DIR",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="run instrumented and write per-run JSONL + Chrome trace files to DIR",
+    )
     parser.add_argument("-o", "--output", default=None, help="write the report to a file")
     args = parser.parse_args(argv)
 
@@ -94,7 +106,12 @@ def main(argv: List[str] = None) -> int:
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
     store = ResultStore(args.cache_dir) if args.cache_dir else None
-    runner = CampaignRunner(jobs=args.jobs, store=store)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        store=store,
+        instrument=args.metrics_out is not None,
+        trace_dir=args.trace,
+    )
 
     sections: List[str] = []
     for name in names:
@@ -112,6 +129,13 @@ def main(argv: List[str] = None) -> int:
                 f"{runner.last_run.cache_hits} from cache"
             )
         sections.append(f"(figure {name} regenerated in {elapsed:.1f} s{stats})")
+        if args.metrics_out and runner.last_run is not None:
+            from repro.obs.export import export_metrics_records
+
+            written = export_metrics_records(runner.last_run.records, args.metrics_out)
+            sections.append(
+                f"  wrote {written} metrics snapshots to {args.metrics_out}"
+            )
         if args.check:
             checks: Dict[str, bool] = ALL_CHECKS[name](result)
             for key, ok in sorted(checks.items()):

@@ -1,0 +1,44 @@
+"""Unified instrumentation layer: per-layer metrics, traces and profiling.
+
+The subsystem has two halves:
+
+* :mod:`repro.obs.instrumentation` -- the :class:`Instrumentation` object a
+  :class:`repro.system.BroadcastSystem` owns when tracing is on, its named
+  hook points (message send/receive, the A-broadcast lifecycle, failure
+  detector suspicions, consensus rounds, view changes, simulator event-loop
+  stats) and the :data:`NULL` no-op singleton that makes the off path one
+  attribute call per hook site;
+* :mod:`repro.obs.export` -- the per-run ``metrics.json`` snapshot (with
+  provenance), the structured JSONL event trace and the Chrome-trace span
+  export of the message lifecycle.
+
+Enable it per system (``SystemConfig(instrument=True)`` or
+``system.enable_instrumentation()``), per campaign
+(``CampaignRunner(instrument=True)``) or from the CLIs
+(``--trace`` / ``--metrics-out``).
+"""
+
+from repro.obs.instrumentation import HOOKS, NULL, Instrumentation, NullInstrumentation
+from repro.obs.export import (
+    chrome_trace,
+    metrics_snapshot,
+    metrics_snapshot_from_obs,
+    set_trace_dir,
+    write_chrome_trace,
+    write_event_trace,
+    write_metrics,
+)
+
+__all__ = [
+    "HOOKS",
+    "NULL",
+    "Instrumentation",
+    "NullInstrumentation",
+    "chrome_trace",
+    "metrics_snapshot",
+    "metrics_snapshot_from_obs",
+    "set_trace_dir",
+    "write_chrome_trace",
+    "write_event_trace",
+    "write_metrics",
+]

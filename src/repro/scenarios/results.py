@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.metrics.stats import Summary, summarize
 
@@ -29,6 +29,8 @@ class ScenarioResult:
     duration: float = 0.0
     events: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
+    #: ``metrics.json`` snapshot of the run (instrumented runs only).
+    metrics: Optional[Dict[str, Any]] = None
 
     def summary(self, confidence: float = 0.95) -> Summary:
         """Mean latency and confidence interval of the measured messages."""
@@ -74,6 +76,8 @@ class TransientResult:
     latencies: List[float] = field(default_factory=list)
     failed_runs: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
+    #: Aggregated metrics snapshot over all runs (instrumented points only).
+    metrics: Optional[Dict[str, Any]] = None
 
     def latency_summary(self, confidence: float = 0.95) -> Summary:
         """Summary of the latency of the tagged message across runs."""

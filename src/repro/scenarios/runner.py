@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Sequence, Set
 from repro.core.types import BroadcastID
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.stats import interarrival_from_throughput
+from repro.obs import export as obs_export
 from repro.scenarios.faults import FaultSchedule
 from repro.scenarios.results import ScenarioResult
 from repro.system import SystemConfig, build_system
@@ -101,6 +102,10 @@ class ProbeSpec:
     max_wait: float = 60_000.0
     max_events: int = DEFAULT_MAX_EVENTS
     payload: Any = "tagged-transient-message"
+    #: Shared :class:`repro.obs.Instrumentation` to attach to the fresh
+    #: system (the transient driver passes one object across its runs so a
+    #: point's counters aggregate over all independent executions).
+    obs: Any = None
 
 
 class ScenarioRunner:
@@ -201,6 +206,23 @@ class ScenarioRunner:
 
         system.run(until=max_time, max_events=spec.max_events)
 
+        params = dict(spec.params)
+        if system.sim.run_exhausted:
+            # The run hit the event budget rather than draining/stopping --
+            # the point must be read as "gave up", not "finished".
+            params["run_exhausted"] = True
+
+        metrics = None
+        if system.obs is not None:
+            metrics = obs_export.metrics_snapshot(
+                system, scenario=spec.scenario, throughput=spec.throughput
+            )
+            obs_export.maybe_write_traces(
+                system,
+                f"{spec.scenario}-{spec.config.stack_label.replace('/', '-')}"
+                f"-n{spec.config.n}-s{spec.config.seed}-T{spec.throughput:g}",
+            )
+
         latencies = list(recorder.latencies(measured_ids).values())
         return ScenarioResult(
             scenario=spec.scenario,
@@ -212,12 +234,15 @@ class ScenarioRunner:
             measured=spec.num_messages,
             duration=system.sim.now,
             events=system.sim.events_processed,
-            params=dict(spec.params),
+            params=params,
+            metrics=metrics,
         )
 
     def run_probe(self, spec: ProbeSpec) -> Optional[float]:
         """Run one probe execution; return the tagged latency (or ``None``)."""
         system = build_system(spec.config)
+        if spec.obs is not None:
+            system.enable_instrumentation(spec.obs)
         spec.faults.apply_pre(system)
         recorder = LatencyRecorder()
         recorder.attach(system)

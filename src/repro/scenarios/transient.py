@@ -71,23 +71,48 @@ def run_crash_transient(
     base_config = replace(config, fd=fd)
     runner = ScenarioRunner()
 
+    # With instrumentation requested, one shared Instrumentation object
+    # rides along every independent run, so the point's counters aggregate
+    # over all executions (event recording stays off: the runs' timelines
+    # overlap, so an interleaved event trace would be meaningless).
+    shared_obs = None
+    run_config = base_config
+    if base_config.instrument:
+        from repro.obs.instrumentation import Instrumentation
+
+        shared_obs = Instrumentation(record_events=False)
+        run_config = replace(base_config, instrument=False)
+
     latencies: List[float] = []
     failed = 0
     for run in range(num_runs):
         spec = ProbeSpec(
-            config=base_config.with_seed(base_config.seed + 1000 * (run + 1)),
+            config=run_config.with_seed(run_config.seed + 1000 * (run + 1)),
             throughput=throughput,
             probe_sender=sender,
             probe_time=crash_time,
             faults=FaultSchedule([CrashAt(crash_time, crashed_process)]),
             max_wait=max_wait,
             max_events=max_events,
+            obs=shared_obs,
         )
         latency = runner.run_probe(spec)
         if latency is None:
             failed += 1
         else:
             latencies.append(latency)
+
+    metrics = None
+    if shared_obs is not None:
+        from repro.obs.export import metrics_snapshot_from_obs
+
+        metrics = metrics_snapshot_from_obs(
+            shared_obs,
+            base_config,
+            scenario="crash-transient",
+            throughput=throughput,
+            runs=num_runs,
+        )
 
     return TransientResult(
         algorithm=config.stack_label,
@@ -99,6 +124,7 @@ def run_crash_transient(
         latencies=latencies,
         failed_runs=failed,
         params={"crash_time": crash_time, "num_runs": num_runs},
+        metrics=metrics,
     )
 
 

@@ -62,6 +62,9 @@ class Simulator:
         self._running: bool = False
         self._stopped: bool = False
         self._processed: int = 0
+        self._exhausted: bool = False
+        #: Instrumentation, or ``None`` for the hook-free fast run loop.
+        self._obs = None
 
     @property
     def now(self) -> float:
@@ -72,6 +75,27 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far (for diagnostics and tests)."""
         return self._processed
+
+    @property
+    def run_exhausted(self) -> bool:
+        """Whether the last :meth:`run` ended because ``max_events`` was hit.
+
+        Distinguishes "the event budget ran out with work still queued" from
+        "the queue drained / ``until`` was reached / :meth:`stop` was called"
+        -- with ``until`` set, a budget-exhausted run does not advance
+        ``now``, so the end time alone cannot tell the two apart.
+        """
+        return self._exhausted
+
+    def set_instrumentation(self, obs) -> None:
+        """Attach an :class:`repro.obs.Instrumentation` (or ``None`` to detach).
+
+        With instrumentation attached, :meth:`run` uses a hook-emitting loop
+        that reports per-category event counts and the queue-depth high-water
+        mark; without it, the byte-identical hook-free loop runs -- the
+        "trace off" fast path, which pays nothing per event.
+        """
+        self._obs = obs if obs is not None and obs.enabled else None
 
     @property
     def pending_events(self) -> int:
@@ -109,28 +133,69 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
-        executed = 0
+        self._exhausted = False
         try:
-            while self._queue and not self._stopped:
-                if max_events is not None and executed >= max_events:
-                    break
-                head = self._queue[0]
-                if until is not None and head.time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._queue)
-                if head.cancelled:
-                    continue
-                self._now = head.time
-                head.callback(*head.args)
-                self._processed += 1
-                executed += 1
+            if self._obs is None:
+                self._run_fast(until, max_events)
             else:
-                if until is not None and not self._queue and self._now < until:
-                    self._now = until
+                self._run_instrumented(until, max_events)
         finally:
             self._running = False
         return self._now
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The hook-free event loop (instrumentation off: the hot path)."""
+        executed = 0
+        while self._queue and not self._stopped:
+            if max_events is not None and executed >= max_events:
+                self._exhausted = True
+                break
+            head = self._queue[0]
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            head.callback(*head.args)
+            self._processed += 1
+            executed += 1
+        else:
+            if until is not None and not self._queue and self._now < until:
+                self._now = until
+
+    def _run_instrumented(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The same loop, emitting per-event hooks.
+
+        Control flow is identical to :meth:`_run_fast`; the hooks only
+        *observe* (queue depth is sampled at the top of each iteration,
+        which captures the exact high-water mark because the depth only
+        grows during callbacks and each callback is followed by another
+        iteration).  Kept separate so the off path never branches per event.
+        """
+        obs = self._obs
+        executed = 0
+        while self._queue and not self._stopped:
+            obs.queue_depth(len(self._queue))
+            if max_events is not None and executed >= max_events:
+                self._exhausted = True
+                break
+            head = self._queue[0]
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            head.callback(*head.args)
+            self._processed += 1
+            executed += 1
+            obs.sim_event(head.time, _callback_category(head.callback))
+        else:
+            if until is not None and not self._queue and self._now < until:
+                self._now = until
 
     def run_until_empty(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain (bounded by ``max_events`` as a guard)."""
@@ -145,3 +210,18 @@ class Simulator:
         self._seq = 0
         self._processed = 0
         self._stopped = False
+        self._exhausted = False
+
+
+def _callback_category(callback: Callable[..., Any]) -> str:
+    """Event-loop category of a callback: its defining class and method.
+
+    ``Network._emitted`` -> ``"Network._emitted"``; closures collapse to the
+    function that created them (``FIFOResource.submit.<locals>.<lambda>`` ->
+    ``"FIFOResource.submit"``), which is the granularity the event-loop
+    profile wants.
+    """
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is None:
+        return type(callback).__name__
+    return qualname.split(".<locals>", 1)[0]

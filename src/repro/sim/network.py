@@ -94,6 +94,13 @@ class Network:
         self._crash_listeners: List[CrashListener] = []
         self._recovery_listeners: List[RecoveryListener] = []
         self.stats = NetworkStats()
+        #: Instrumentation, or ``None`` (checked with one branch per send /
+        #: delivery so the uninstrumented hot path stays hook-free).
+        self._obs = None
+
+    def set_instrumentation(self, obs) -> None:
+        """Attach an :class:`repro.obs.Instrumentation` (``None`` detaches)."""
+        self._obs = obs if obs is not None and obs.enabled else None
 
     # ------------------------------------------------------------------ wiring
 
@@ -195,7 +202,10 @@ class Network:
         for dest in message.destinations:
             self._check_pid(dest)
 
-        if sender in self._crashed:
+        dropped = sender in self._crashed
+        if self._obs is not None:
+            self._obs.message_send(self._sim.now, message, dropped)
+        if dropped:
             self.stats.dropped_sender_crashed += 1
             return
 
@@ -248,6 +258,8 @@ class Network:
         if callback is None:
             raise RuntimeError(f"no process attached for destination {dest}")
         self.stats.deliveries += 1
+        if self._obs is not None:
+            self._obs.message_deliver(self._sim.now, dest, message)
         callback(dest, message)
 
     # ------------------------------------------------------------------ helpers

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Sequence
 
+from repro.obs.instrumentation import NULL
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.messages import Message
 from repro.sim.network import Network
@@ -33,6 +34,10 @@ class Component:
         if not self.protocol:
             raise ValueError(f"{type(self).__name__} must define a protocol name")
         self.process = process
+        #: Instrumentation hook sink; :data:`repro.obs.NULL` (one no-op call
+        #: per hook site) until the system enables instrumentation, which
+        #: rewires every component in place.
+        self._obs = process.obs
         process.register_component(self.protocol, self)
 
     # -- convenience accessors -------------------------------------------------
@@ -94,6 +99,8 @@ class SimProcess:
         self._timers: List[EventHandle] = []
         #: Failure detector attached to this process (set by the system builder).
         self.failure_detector = None
+        #: Instrumentation components inherit at construction (NULL = off).
+        self.obs = NULL
         network.attach(pid, self._on_network_delivery)
 
     # ------------------------------------------------------------------ components

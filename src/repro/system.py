@@ -39,6 +39,7 @@ from repro.core.reliable_broadcast import ReliableBroadcast
 from repro.core.types import AtomicBroadcast, BroadcastID
 from repro.failure_detectors.heartbeat import HeartbeatConfig
 from repro.failure_detectors.qos import QoSConfig
+from repro.obs.instrumentation import Instrumentation
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.process import SimProcess
@@ -107,6 +108,15 @@ class SystemConfig:
         may be in flight at once.  The same value is applied to every stack
         so that their message patterns stay identical in suspicion-free
         runs; 1 gives the strictly sequential textbook behaviour.
+    instrument:
+        Build the system with the instrumentation layer enabled
+        (:mod:`repro.obs`): per-layer counters, the A-broadcast lifecycle,
+        suspicion/consensus/view-change hooks and simulator event-loop
+        stats, exportable as ``metrics.json`` / event traces.  Off by
+        default: the uninstrumented hot path pays nothing.  Observation
+        never perturbs the run -- delivered sequences, latencies and event
+        counts are bit-identical either way (golden-neutrality tests pin
+        this).
 
     The keyword ``algorithm=`` is accepted as a **deprecated alias** of
     ``stack=`` (it emits a :class:`DeprecationWarning` once, at
@@ -126,6 +136,7 @@ class SystemConfig:
     join_retry_interval: float = 500.0
     reformation_timeout: float = 500.0
     pipeline_depth: int = 2
+    instrument: bool = False
 
     def __init__(
         self,
@@ -141,6 +152,7 @@ class SystemConfig:
         join_retry_interval: float = 500.0,
         reformation_timeout: float = 500.0,
         pipeline_depth: int = 2,
+        instrument: bool = False,
         algorithm: Optional[str] = None,
     ) -> None:
         if algorithm is not None:
@@ -174,6 +186,7 @@ class SystemConfig:
         set_field(self, "join_retry_interval", join_retry_interval)
         set_field(self, "reformation_timeout", reformation_timeout)
         set_field(self, "pipeline_depth", pipeline_depth)
+        set_field(self, "instrument", bool(instrument))
 
     @property
     def algorithm(self) -> str:
@@ -225,7 +238,12 @@ class BroadcastSystem:
         self.consensus_services: List[ConsensusService] = []
         self.memberships: List[GroupMembership] = []
         self._started = False
+        #: The instrumentation of this system, or ``None`` when tracing is
+        #: off (layers then hold the :data:`repro.obs.NULL` no-op singleton).
+        self.obs: Optional[Instrumentation] = None
         self._build()
+        if config.instrument:
+            self.enable_instrumentation()
 
     # ------------------------------------------------------------------ construction
 
@@ -249,6 +267,44 @@ class BroadcastSystem:
             self.rbcasts.append(rbcast)
             self.consensus_services.append(consensus)
             self.abcasts.append(layers.abcast)
+
+    # ------------------------------------------------------------------ instrumentation
+
+    def enable_instrumentation(
+        self, obs: Optional[Instrumentation] = None
+    ) -> Instrumentation:
+        """Switch the instrumentation layer on for this system (idempotent).
+
+        Creates (or adopts) an :class:`~repro.obs.Instrumentation`, attaches
+        it to the simulation kernel and the network, rewires every process
+        and protocol component's hook sink, and taps each failure detector's
+        suspicion listeners.  Safe to call any time before :meth:`run` --
+        the trace recorders call it on attach -- and a second call returns
+        the existing object.  Purely observational: enabling it changes no
+        delivered sequence, latency or event count.
+        """
+        if self.obs is not None:
+            return self.obs
+        if obs is None:
+            obs = Instrumentation()
+        self.obs = obs
+        self.sim.set_instrumentation(obs)
+        self.network.set_instrumentation(obs)
+        for process in self.processes:
+            process.obs = obs
+            for component in process.components():
+                component._obs = obs
+        for monitor, detector in self.fd_fabric.detectors().items():
+            detector.add_listener(self._suspicion_hook(monitor, obs))
+        return obs
+
+    def _suspicion_hook(self, monitor: int, obs: Instrumentation):
+        """A detector listener forwarding to the suspicion hook with time/owner."""
+
+        def _listener(target: int, suspected: bool) -> None:
+            obs.suspicion(self.sim.now, monitor, target, suspected)
+
+        return _listener
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -359,6 +415,16 @@ class BroadcastSystem:
     def message_stats(self) -> Dict[str, int]:
         """Traffic counters of the underlying network."""
         return self.network.stats.as_dict()
+
+    def metrics_snapshot(self, **extra: Any) -> Dict[str, Any]:
+        """The run's ``metrics.json`` payload (instrumented systems only).
+
+        Convenience wrapper of :func:`repro.obs.metrics_snapshot`; ``extra``
+        keys are folded into the provenance block.
+        """
+        from repro.obs import export as obs_export
+
+        return obs_export.metrics_snapshot(self, **extra)
 
 
 def build_system(config: Optional[SystemConfig] = None, **overrides: Any) -> BroadcastSystem:

@@ -75,3 +75,57 @@ class TestDeliveryTraceRecorder:
         _system, _messages, deliveries = traced_run()
         multiset = deliveries.time_multiset()
         assert multiset == sorted(multiset)
+
+
+class TestStackedRecorders:
+    """Regression: recorders must compose as hook subscribers.
+
+    The legacy attribute-splice implementation broke when two stacked
+    recorders were detached in attach order -- restoring the saved ``send``
+    re-installed the first recorder's dead closure, which kept recording.
+    """
+
+    def test_detach_in_attach_order_detaches_both(self):
+        system = build_system(SystemConfig(n=3, stack="fd", seed=5))
+        first = MessageTraceRecorder(system)
+        second = MessageTraceRecorder(system)
+        first.detach()
+        second.detach()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=500.0)
+        assert first.messages == []
+        assert second.messages == []
+        # The network itself keeps working without any recorder attached.
+        assert system.message_stats()["messages_sent"] > 0
+
+    def test_partial_detach_keeps_the_other_recording(self):
+        system = build_system(SystemConfig(n=3, stack="fd", seed=5))
+        first = MessageTraceRecorder(system)
+        second = MessageTraceRecorder(system)
+        first.detach()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=500.0)
+        assert first.messages == []
+        assert len(second.messages) == system.message_stats()["messages_sent"]
+
+    def test_message_and_delivery_recorders_stack_independently(self):
+        system = build_system(SystemConfig(n=3, stack="gm", seed=5))
+        messages = MessageTraceRecorder(system)
+        deliveries = DeliveryTraceRecorder(system)
+        messages.detach()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=500.0)
+        assert messages.messages == []
+        assert len(deliveries.deliveries) == 3
+
+    def test_delivery_recorder_detach(self):
+        system = build_system(SystemConfig(n=3, stack="fd", seed=5))
+        deliveries = DeliveryTraceRecorder(system)
+        deliveries.detach()
+        system.start()
+        system.broadcast_at(1.0, 0, "x")
+        system.run(until=500.0)
+        assert deliveries.deliveries == []

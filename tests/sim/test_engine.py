@@ -167,3 +167,49 @@ class TestDeterminism:
             return events, sim.now
 
         assert trace() == trace()
+
+
+class TestRunExhausted:
+    def test_budget_hit_sets_the_flag(self, simulator):
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=3)
+        assert simulator.run_exhausted
+
+    def test_drained_queue_leaves_flag_clear(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=10)
+        assert not simulator.run_exhausted
+
+    def test_exact_budget_without_leftover_is_not_exhausted(self, simulator):
+        # The budget only reads as "gave up" when events were left behind.
+        for _ in range(3):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=3)
+        assert not simulator.run_exhausted
+
+    def test_next_run_resets_the_flag(self, simulator):
+        for _ in range(5):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=2)
+        assert simulator.run_exhausted
+        simulator.run()  # drain the remaining three
+        assert not simulator.run_exhausted
+
+    def test_reset_clears_the_flag(self, simulator):
+        for _ in range(5):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(max_events=2)
+        simulator.reset()
+        assert not simulator.run_exhausted
+
+    def test_instrumented_loop_reports_exhaustion_identically(self):
+        from repro.obs import Instrumentation
+
+        sim = Simulator()
+        sim.set_instrumentation(Instrumentation())
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.run_exhausted
+        assert sim.events_processed == 3
