@@ -82,14 +82,16 @@ def kernel_seed_loop() -> int:
     _chain(simulator, TICKS)
     # The loop below mirrors the seed's ``Simulator.run`` body statement for
     # statement (attribute lookups included) so the off-path comparison is
-    # code-shape-fair, not a hand-optimised strawman.
+    # code-shape-fair, not a hand-optimised strawman.  The queue now holds
+    # ``(time, seq, handle)`` tuples, so the head reads adapt to that layout
+    # while keeping the seed loop's per-iteration statement shape.
     until = None
     max_events = None
     executed = 0
     while simulator._queue and not simulator._stopped:
         if max_events is not None and executed >= max_events:
             break
-        head = simulator._queue[0]
+        head = simulator._queue[0][2]
         if until is not None and head.time > until:
             simulator._now = until
             break

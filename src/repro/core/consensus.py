@@ -61,6 +61,10 @@ class ConsensusInstance:
         self.estimate = value
         self.ts = 0
         self.round = 0
+        # Coordinator of the current round, maintained by ``_enter_round``;
+        # every suspicion flip and every current-round message reads it, so
+        # it is cached instead of recomputed from the rotation.
+        self._round_coordinator = self.order[-1]
         self.decided = False
         self.decision: Any = None
 
@@ -113,6 +117,7 @@ class ConsensusInstance:
                 self.service.now, self.pid, self.cid, round_number
             )
             coordinator = self.coordinator_of(round_number)
+            self._round_coordinator = coordinator
 
             if coordinator == self.pid:
                 self._run_coordinator_round(round_number)
@@ -212,7 +217,7 @@ class ConsensusInstance:
         round_number = body[2]
         if round_number != self.round:
             return
-        coordinator = self.coordinator_of(round_number)
+        coordinator = self._round_coordinator
 
         if kind == _ESTIMATE:
             if coordinator != self.pid:
@@ -313,7 +318,12 @@ class ConsensusInstance:
             # Explicit refusals alone make the round hopeless.
             self._enter_round(round_number + 1)
             return
-        trusted_silent = [pid for pid in silent if not self._suspects(pid)]
+        detector = self.service.process.failure_detector
+        if detector is None:
+            trusted_silent = silent
+        else:
+            suspected = detector._suspected
+            trusted_silent = [pid for pid in silent if pid not in suspected]
         if len(acks) + len(trusted_silent) >= self.majority:
             return
         if deferred:
@@ -411,7 +421,7 @@ class ConsensusInstance:
         if self.decided or not suspected:
             return
         round_number = self.round
-        coordinator = self.coordinator_of(round_number)
+        coordinator = self._round_coordinator
         if coordinator == self.pid:
             # The coordinator re-evaluates whether the round can still
             # succeed when one of the processes it waits for gets suspected.
@@ -461,6 +471,11 @@ class ConsensusService(Component):
             else 2 * (2 * network_config.lambda_cpu + network_config.network_time) + 2.0
         )
         self._instances: Dict[Hashable, ConsensusInstance] = {}
+        # Undecided subset of ``_instances``, maintained on creation and
+        # decision: the suspicion sweep runs once per new suspicion (hot
+        # under frequent wrong suspicions) and must not walk the full,
+        # ever-growing instance history.
+        self._undecided: Dict[Hashable, ConsensusInstance] = {}
         self._buffered: Dict[Hashable, List[Tuple[int, Any]]] = {}
         self._decisions: Dict[Hashable, Any] = {}
         self._decision_listeners: List[DecisionListener] = []
@@ -524,6 +539,7 @@ class ConsensusService(Component):
         if cid in self._decisions:
             instance.mark_decided(self._decisions[cid])
             return instance
+        self._undecided[cid] = instance
         instance.start()
         for sender, body in self._buffered.pop(cid, []):
             if not instance.decided:
@@ -598,6 +614,7 @@ class ConsensusService(Component):
             return
         self._decisions[cid] = value
         self._obs.consensus_decided(self.now, self.pid, cid)
+        self._undecided.pop(cid, None)
         instance = self._instances.get(cid)
         if instance is not None:
             instance.mark_decided(value)
@@ -608,6 +625,13 @@ class ConsensusService(Component):
     # ------------------------------------------------------------------ suspicions
 
     def _on_suspicion_change(self, pid: int, suspected: bool) -> None:
-        for instance in list(self._instances.values()):
+        if not suspected or not self._undecided:
+            # Instances only react to new suspicions (a restored trust is a
+            # no-op in every round state), so skip the sweep entirely.
+            return
+        # The list copy is required: reacting can decide instances and start
+        # new ones (both mutate ``_undecided``), exactly like the historical
+        # full-instance sweep, which iterated in the same creation order.
+        for instance in list(self._undecided.values()):
             if not instance.decided:
                 instance.on_suspicion_change(pid, suspected)

@@ -32,10 +32,15 @@ class ReliableBroadcast(Component):
         #: Default destination group of :meth:`broadcast`.
         self.group: Tuple[int, ...] = tuple(group) if group is not None else tuple(range(n))
         self._listeners: List[RBListener] = []
+        self._listener_snapshot: tuple = ()
         self._local_seq = 0
         self._delivered: set = set()
         # Delivered-but-not-stable messages kept for relaying, keyed by rb uid.
         self._unstable: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...], Any]] = {}
+        # The same entries indexed by origin: the relay sweep runs on every
+        # new suspicion and must only walk the suspect's messages, not the
+        # whole buffer.  ``rb_uid[0]`` is the origin, so both stay in sync.
+        self._unstable_by_origin: Dict[int, Dict[Tuple[int, int], Tuple[int, Tuple[int, ...], Any]]] = {}
         self._relayed_for: set = set()
         #: Diagnostic counter: number of relayed messages.
         self.relays = 0
@@ -53,6 +58,7 @@ class ReliableBroadcast(Component):
     def add_listener(self, listener: RBListener) -> None:
         """Subscribe to R-deliveries: ``listener(origin, rb_uid, payload)``."""
         self._listeners.append(listener)
+        self._listener_snapshot = tuple(self._listeners)
 
     def broadcast(self, payload: Any, group: Optional[Sequence[int]] = None) -> Tuple[int, int]:
         """R-broadcast ``payload`` to ``group`` (defaults to the full group).
@@ -70,7 +76,10 @@ class ReliableBroadcast(Component):
 
     def mark_stable(self, rb_uid: Tuple[int, int]) -> None:
         """Drop ``rb_uid`` from the relay buffer (it is known to be stable)."""
-        self._unstable.pop(rb_uid, None)
+        if self._unstable.pop(rb_uid, None) is not None:
+            per_origin = self._unstable_by_origin.get(rb_uid[0])
+            if per_origin is not None:
+                per_origin.pop(rb_uid, None)
 
     def unstable_count(self) -> int:
         """Number of messages currently held for potential relaying."""
@@ -86,8 +95,10 @@ class ReliableBroadcast(Component):
         if rb_uid in self._delivered:
             return
         self._delivered.add(rb_uid)
-        self._unstable[rb_uid] = (origin, tuple(destinations), payload)
-        for listener in list(self._listeners):
+        entry = (origin, tuple(destinations), payload)
+        self._unstable[rb_uid] = entry
+        self._unstable_by_origin.setdefault(origin, {})[rb_uid] = entry
+        for listener in self._listener_snapshot:
             listener(origin, rb_uid, payload)
 
     # ------------------------------------------------------------------ relaying
@@ -98,9 +109,15 @@ class ReliableBroadcast(Component):
         self._relay_messages_from(pid)
 
     def _relay_messages_from(self, origin: int) -> None:
-        for rb_uid, (msg_origin, destinations, payload) in list(self._unstable.items()):
-            if msg_origin != origin or rb_uid in self._relayed_for:
+        # Per-origin insertion order equals the origin's relative order in
+        # the full buffer, so relays go out in the historical order.
+        per_origin = self._unstable_by_origin.get(origin)
+        if not per_origin:
+            return
+        relayed = self._relayed_for
+        for rb_uid, (msg_origin, destinations, payload) in list(per_origin.items()):
+            if rb_uid in relayed:
                 continue
-            self._relayed_for.add(rb_uid)
+            relayed.add(rb_uid)
             self.relays += 1
             self.send(destinations, (_MSG, rb_uid, msg_origin, destinations, payload))

@@ -18,12 +18,35 @@ with the paper's *random* mistake model (exponential ``T_MR`` / ``T_M``);
 :class:`repro.failure_detectors.perfect.PerfectFailureDetectorFabric` uses
 it as-is, so "perfect" can no longer inherit QoS mistake behaviour by
 accident.  The mistake-specific extension points are the ``_cancel_mistakes``
-/ ``_resume_mistakes`` hooks and the :meth:`start` override.
+/ ``_resume_mistakes`` hooks, the ``_scan_mistake_*`` calendar handlers and
+the :meth:`start` override.
+
+Batched scan mode
+-----------------
+
+With the default ``scan_interval=None`` every pending detection, trust
+restoration and (in the QoS subclass) mistake transition is its own
+simulator event -- O(n^2) live timer events, which dominates the event loop
+at n >= 15.  Passing ``scan_interval=q`` (``SystemConfig(fd_scan_interval=q)``)
+switches the fabric to a *batched calendar*: pair transitions become plain
+tuples on a fabric-local heap, at most **one** simulator event (the scan) is
+armed at a time, and each scan drains every transition due by then.
+Cancellation is O(1) via per-pair generation counters instead of event
+handles, so recoveries and re-crashes never touch the simulator queue.
+
+The trade-off is explicit: transitions fire at the next multiple of ``q``
+at or after their exact due time, so results are quantized to the scan tick
+(same flavour of approximation as the heartbeat detector's
+``check_interval``) and are *not* bit-identical to the default mode.  The
+default mode stays the golden-pinned exact semantics; batch mode is the
+throughput lane for large-n sweeps.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.failure_detectors.interface import FailureDetector
 from repro.sim.engine import EventHandle, Simulator
@@ -31,6 +54,12 @@ from repro.sim.network import Network
 
 #: An ordered (monitor, monitored) failure detector pair.
 Pair = Tuple[int, int]
+
+#: Calendar entry kinds (index into the scan dispatch table).
+KIND_DETECT = 0
+KIND_TRUST = 1
+KIND_MISTAKE_BEGIN = 2
+KIND_MISTAKE_END = 3
 
 
 class CrashDetectionFabric:
@@ -44,7 +73,10 @@ class CrashDetectionFabric:
         sim: Simulator,
         network: Network,
         monitored: Optional[Iterable[int]] = None,
+        scan_interval: Optional[float] = None,
     ) -> None:
+        if scan_interval is not None and scan_interval <= 0:
+            raise ValueError(f"scan_interval must be > 0, got {scan_interval}")
         self._sim = sim
         self._network = network
         pids = list(range(network.n)) if monitored is None else sorted(monitored)
@@ -52,15 +84,43 @@ class CrashDetectionFabric:
             pid: self.detector_class(pid, pids) for pid in pids
         }
         # Pending crash detections / post-recovery trust restorations, so a
-        # recovery (resp. a re-crash) can cancel them.
+        # recovery (resp. a re-crash) can cancel them (exact mode only).
         self._pending_detect: Dict[Pair, EventHandle] = {}
         self._pending_trust: Dict[Pair, EventHandle] = {}
         self._crashed: set = set()
         self._started = False
+        # Batched-scan calendar (``scan_interval is not None``): a heap of
+        # ``(due, seq, kind, monitor, monitored, gen)`` tuples drained by one
+        # armed simulator event.  ``gen`` snapshots the pair's generation
+        # counter; bumping the counter invalidates every outstanding entry of
+        # that pair/kind family without touching the heap.
+        self._scan_interval = scan_interval
+        self._calendar: List[tuple] = []
+        self._cal_seq = 0
+        self._armed_time: Optional[float] = None
+        self._armed_handle: Optional[EventHandle] = None
+        # KIND_MISTAKE_BEGIN and KIND_MISTAKE_END share one generation map:
+        # legacy ``_cancel_mistakes`` cancels both transition kinds at once.
+        mistake_gen: Dict[Pair, int] = {}
+        self._cal_gens = ({}, {}, mistake_gen, mistake_gen)
+        self._scan_dispatch = (
+            self._scan_detect,
+            self._scan_trust,
+            self._scan_mistake_begins,
+            self._scan_mistake_ends,
+        )
+        #: Pairs with a live trust-restoration entry on the calendar (batch
+        #: mode's counterpart of ``pair in self._pending_trust``).
+        self._trust_armed: Set[Pair] = set()
         network.add_crash_listener(self._on_crash)
         network.add_recovery_listener(self._on_recovery)
 
     # ------------------------------------------------------------------ access
+
+    @property
+    def scan_interval(self) -> Optional[float]:
+        """The batched-scan tick, or ``None`` in exact per-pair-timer mode."""
+        return self._scan_interval
 
     def attach(self, process) -> FailureDetector:
         """The detector of ``process`` (fabric protocol; detectors pre-exist)."""
@@ -85,6 +145,70 @@ class CrashDetectionFabric:
 
     def _resume_mistakes(self, monitor: int, monitored: int) -> None:
         """Resume random-mistake generation for the pair after a recovery."""
+
+    def _scan_mistake_begins(self, monitor: int, monitored: int) -> None:
+        """Calendar handler for mistake onsets (mistake models override)."""
+
+    def _scan_mistake_ends(self, monitor: int, monitored: int) -> None:
+        """Calendar handler for mistake corrections (mistake models override)."""
+
+    # ------------------------------------------------------------------ calendar
+
+    def _calendar_push(self, kind: int, delay: float, monitor: int, monitored: int) -> None:
+        """Enter a pair transition on the batch calendar, ``delay`` from now."""
+        due = self._sim.now + delay
+        gen = self._cal_gens[kind].get((monitor, monitored), 0)
+        heapq.heappush(self._calendar, (due, self._cal_seq, kind, monitor, monitored, gen))
+        self._cal_seq += 1
+        # Fast path: a scan armed at or before ``due`` already covers this
+        # entry (its tick is <= quantize(due)), so skip the quantization.
+        armed = self._armed_time
+        if armed is None or armed > due:
+            self._arm(due)
+
+    def _calendar_cancel(self, kind: int, monitor: int, monitored: int) -> None:
+        """Invalidate every outstanding calendar entry of the pair's kind."""
+        gens = self._cal_gens[kind]
+        pair = (monitor, monitored)
+        gens[pair] = gens.get(pair, 0) + 1
+
+    def _quantize(self, time: float) -> float:
+        """The first scan tick at or after ``time`` (``ceil`` to the grid)."""
+        interval = self._scan_interval
+        return math.ceil(time / interval) * interval
+
+    def _arm(self, due: float) -> None:
+        """Make sure the scan event fires no later than ``due``'s tick."""
+        tick = self._quantize(due)
+        if self._armed_time is not None and self._armed_time <= tick:
+            return
+        if self._armed_handle is not None:
+            self._armed_handle.cancel()
+        self._armed_time = tick
+        self._armed_handle = self._sim.schedule_at(tick, self._scan)
+
+    def _scan(self) -> None:
+        """Drain every calendar transition due by now, in (time, seq) order."""
+        self._armed_time = None
+        self._armed_handle = None
+        calendar = self._calendar
+        gens = self._cal_gens
+        dispatch = self._scan_dispatch
+        pop = heapq.heappop
+        now = self._sim.now
+        while calendar and calendar[0][0] <= now:
+            due, _seq, kind, monitor, monitored, gen = pop(calendar)
+            if gens[kind].get((monitor, monitored), 0) != gen:
+                continue
+            dispatch[kind](monitor, monitored)
+        if calendar:
+            self._arm(calendar[0][0])
+
+    def _trust_pending(self, monitor: int, monitored: int) -> bool:
+        """Whether the pair has a pending post-recovery trust restoration."""
+        if self._scan_interval is not None:
+            return (monitor, monitored) in self._trust_armed
+        return (monitor, monitored) in self._pending_trust
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -123,7 +247,8 @@ class CrashDetectionFabric:
         the deterministic counterpart of the random QoS mistakes, used by
         declarative fault schedules.  Crashed endpoints are skipped at fire
         time, and the suspicion is not lifted if ``target`` really crashed
-        in the meantime.
+        in the meantime.  Forced windows are rare (a handful per scenario),
+        so they stay direct simulator events even in batched-scan mode.
         """
         if duration < 0:
             raise ValueError(f"duration must be >= 0, got {duration}")
@@ -156,18 +281,27 @@ class CrashDetectionFabric:
         if pid in self._crashed:
             return
         self._crashed.add(pid)
-        for monitor, detector in self._detectors.items():
+        batch = self._scan_interval is not None
+        for monitor in self._detectors:
             if monitor == pid:
                 continue
             self._cancel_mistakes(monitor, pid)
             self._cancel_trust(monitor, pid)
             detection_time = self._detection_time(monitor, pid)
-            self._pending_detect[(monitor, pid)] = self._sim.schedule(
-                detection_time, self._detect_crash, monitor, pid
-            )
+            if batch:
+                self._calendar_push(KIND_DETECT, detection_time, monitor, pid)
+            else:
+                self._pending_detect[(monitor, pid)] = self._sim.schedule(
+                    detection_time, self._detect_crash, monitor, pid
+                )
 
     def _detect_crash(self, monitor: int, crashed: int) -> None:
         self._pending_detect.pop((monitor, crashed), None)
+        self._detectors[monitor]._set_suspected(crashed, True)
+
+    def _scan_detect(self, monitor: int, crashed: int) -> None:
+        # Recovery bumps the detect generation, so reaching here means the
+        # crash is still in effect.
         self._detectors[monitor]._set_suspected(crashed, True)
 
     # ------------------------------------------------------------------ recoveries
@@ -176,18 +310,26 @@ class CrashDetectionFabric:
         if pid not in self._crashed:
             return
         self._crashed.discard(pid)
+        batch = self._scan_interval is not None
         for monitor in self._detectors:
             if monitor == pid:
                 continue
             # A crash shorter than the detection time goes unnoticed.
-            pending = self._pending_detect.pop((monitor, pid), None)
-            if pending is not None:
-                pending.cancel()
+            if batch:
+                self._calendar_cancel(KIND_DETECT, monitor, pid)
+            else:
+                pending = self._pending_detect.pop((monitor, pid), None)
+                if pending is not None:
+                    pending.cancel()
             if self._detectors[monitor].is_suspected(pid):
                 detection_time = self._detection_time(monitor, pid)
-                self._pending_trust[(monitor, pid)] = self._sim.schedule(
-                    detection_time, self._restore_trust, monitor, pid
-                )
+                if batch:
+                    self._trust_armed.add((monitor, pid))
+                    self._calendar_push(KIND_TRUST, detection_time, monitor, pid)
+                else:
+                    self._pending_trust[(monitor, pid)] = self._sim.schedule(
+                        detection_time, self._restore_trust, monitor, pid
+                    )
             # Wrong-suspicion generation resumes in both directions.
             if self._started:
                 self._resume_mistakes(monitor, pid)
@@ -199,9 +341,19 @@ class CrashDetectionFabric:
             return
         self._detectors[monitor]._set_suspected(recovered, False)
 
+    def _scan_trust(self, monitor: int, recovered: int) -> None:
+        self._trust_armed.discard((monitor, recovered))
+        if recovered in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(recovered, False)
+
     # ------------------------------------------------------------------ helpers
 
     def _cancel_trust(self, monitor: int, monitored: int) -> None:
+        if self._scan_interval is not None:
+            self._calendar_cancel(KIND_TRUST, monitor, monitored)
+            self._trust_armed.discard((monitor, monitored))
+            return
         handle = self._pending_trust.pop((monitor, monitored), None)
         if handle is not None:
             handle.cancel()

@@ -21,6 +21,11 @@ class FailureDetector:
         self._monitored: Set[int] = {pid for pid in monitored if pid != owner_pid}
         self._suspected: Set[int] = set()
         self._listeners: List[SuspicionListener] = []
+        # Immutable snapshot iterated on every flip; rebuilt on add/remove so
+        # the (hot) notification loop never copies the listener list.  Same
+        # semantics as iterating a copy: mutations during a notification
+        # affect the next flip, not the one in flight.
+        self._listener_snapshot: tuple = ()
         #: Counters useful for tests and diagnostics.
         self.suspicion_events = 0
         self.trust_events = 0
@@ -49,11 +54,13 @@ class FailureDetector:
     def add_listener(self, listener: SuspicionListener) -> None:
         """Subscribe to suspicion-state changes."""
         self._listeners.append(listener)
+        self._listener_snapshot = tuple(self._listeners)
 
     def remove_listener(self, listener: SuspicionListener) -> None:
         """Unsubscribe a previously added listener (no-op if absent)."""
         if listener in self._listeners:
             self._listeners.remove(listener)
+            self._listener_snapshot = tuple(self._listeners)
 
     # ------------------------------------------------------------------ mutation
 
@@ -61,16 +68,16 @@ class FailureDetector:
         """Update the suspicion state of ``pid`` and notify listeners on change."""
         if pid == self.owner_pid or pid not in self._monitored:
             return
-        currently = pid in self._suspected
-        if currently == suspected:
+        suspected_set = self._suspected
+        if (pid in suspected_set) == suspected:
             return
         if suspected:
-            self._suspected.add(pid)
+            suspected_set.add(pid)
             self.suspicion_events += 1
         else:
-            self._suspected.discard(pid)
+            suspected_set.discard(pid)
             self.trust_events += 1
-        for listener in list(self._listeners):
+        for listener in self._listener_snapshot:
             listener(pid, suspected)
 
     def force_suspect(self, pid: int) -> None:

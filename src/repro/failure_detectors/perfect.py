@@ -38,6 +38,7 @@ class PerfectFailureDetectorFabric(CrashDetectionFabric):
         rng: Optional[RandomStreams] = None,
         detection_time: float = 0.0,
         monitored: Optional[Iterable[int]] = None,
+        scan_interval: Optional[float] = None,
     ) -> None:
         if detection_time < 0:
             raise ValueError(f"detection_time must be >= 0, got {detection_time}")
@@ -45,7 +46,7 @@ class PerfectFailureDetectorFabric(CrashDetectionFabric):
         # uniform registry factory signature: a perfect detector draws
         # nothing random.
         self.detection_time = detection_time
-        super().__init__(sim, network, monitored=monitored)
+        super().__init__(sim, network, monitored=monitored, scan_interval=scan_interval)
 
     def _detection_time(self, monitor: int, monitored: int) -> float:
         return self.detection_time

@@ -21,15 +21,28 @@ capabilities (:meth:`~repro.failure_detectors.fabric.CrashDetectionFabric.suspec
 :meth:`~repro.failure_detectors.fabric.CrashDetectionFabric.suspect_during`)
 come from the shared :class:`~repro.failure_detectors.fabric.CrashDetectionFabric`
 base; this module adds the *random* mistake model on top.
+
+Two hot-path notes.  Every pair caches its effective config and a bound
+``expovariate`` per RNG stream (the draw *sequence* per stream is unchanged,
+so results stay bit-identical -- the seed resolved the stream name with an
+f-string and a dict lookup per draw).  And with
+``scan_interval`` set (see the fabric base), mistake transitions ride the
+fabric's batched calendar instead of per-pair simulator events -- the
+O(n^2)-timers throughput lane for large n.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.failure_detectors.fabric import CrashDetectionFabric, Pair
+from repro.failure_detectors.fabric import (
+    KIND_MISTAKE_BEGIN,
+    KIND_MISTAKE_END,
+    CrashDetectionFabric,
+    Pair,
+)
 from repro.failure_detectors.interface import FailureDetector
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
@@ -135,6 +148,13 @@ class QoSFailureDetector(FailureDetector):
     """Per-process failure detector driven by a :class:`QoSFailureDetectorFabric`."""
 
 
+def _constant_draw(value: float) -> Callable[[], float]:
+    def draw() -> float:
+        return value
+
+    return draw
+
+
 class QoSFailureDetectorFabric(CrashDetectionFabric):
     """Creates and drives the QoS failure detectors of every process."""
 
@@ -147,22 +167,69 @@ class QoSFailureDetectorFabric(CrashDetectionFabric):
         rng: RandomStreams,
         config: QoSConfig,
         monitored: Optional[Iterable[int]] = None,
+        scan_interval: Optional[float] = None,
     ) -> None:
         self._rng = rng
         self.config = config
-        # Pending mistake events per ordered monitor pair (monitor, monitored).
+        # Pending mistake events per ordered monitor pair (monitor, monitored)
+        # (exact mode only; batch mode tracks mistakes on the calendar).
         self._pending: Dict[Pair, List[EventHandle]] = {}
-        super().__init__(sim, network, monitored=monitored)
+        # Per-pair cache of (effective config, recurrence draw, duration
+        # draw).  The draws are bound ``expovariate`` calls on the pair's
+        # named streams: same streams, same draw sequence as resolving the
+        # stream by name per draw, minus the f-string and dict lookups.
+        self._pair_cache: Dict[Pair, Tuple[QoSConfig, Callable[[], float], Callable[[], float]]] = {}
+        super().__init__(sim, network, monitored=monitored, scan_interval=scan_interval)
 
     # ------------------------------------------------------------------ hooks
 
     def _pair_config(self, monitor: int, monitored: int) -> QoSConfig:
-        return self.config.pair(monitor, monitored)
+        return self._pair_state(monitor, monitored)[0]
+
+    def _pair_state(
+        self, monitor: int, monitored: int
+    ) -> Tuple[QoSConfig, Callable[[], float], Callable[[], float]]:
+        state = self._pair_cache.get((monitor, monitored))
+        if state is None:
+            config = self.config.pair(monitor, monitored)
+            state = (
+                config,
+                self._make_draw(
+                    f"fd/{monitor}/{monitored}/recurrence", config.mistake_recurrence_time
+                ),
+                self._make_draw(
+                    f"fd/{monitor}/{monitored}/duration", config.mistake_duration
+                ),
+            )
+            self._pair_cache[(monitor, monitored)] = state
+        return state
+
+    def _make_draw(self, name: str, mean: float) -> Callable[[], float]:
+        # Mirrors ``RandomStreams.exponential``: degenerate means consume no
+        # randomness (and leave the stream uncreated until a real draw).
+        if mean == 0:
+            return _constant_draw(0.0)
+        if mean == INFINITY:
+            return _constant_draw(INFINITY)
+        # Inlined ``Random.expovariate(rate)``: same formula on the same
+        # stream (``-log(1 - U) / rate``), so the draw sequence stays
+        # bit-identical, minus one call frame per draw.
+        uniform = self._rng.stream(name).random
+        rate = 1.0 / mean
+        log = math.log
+
+        def draw() -> float:
+            return -log(1.0 - uniform()) / rate
+
+        return draw
 
     def _detection_time(self, monitor: int, monitored: int) -> float:
         return self._pair_config(monitor, monitored).detection_time
 
     def _cancel_mistakes(self, monitor: int, monitored: int) -> None:
+        if self._scan_interval is not None:
+            self._calendar_cancel(KIND_MISTAKE_BEGIN, monitor, monitored)
+            return
         for handle in self._pending.pop((monitor, monitored), []):
             handle.cancel()
 
@@ -177,7 +244,7 @@ class QoSFailureDetectorFabric(CrashDetectionFabric):
         detector = self._detectors[monitor]
         if (
             detector.is_suspected(monitored)
-            and (monitor, monitored) not in self._pending_trust
+            and not self._trust_pending(monitor, monitored)
         ):
             detector._set_suspected(monitored, False)
         self._schedule_next_mistake(monitor, monitored)
@@ -198,24 +265,38 @@ class QoSFailureDetectorFabric(CrashDetectionFabric):
     def _schedule_next_mistake(self, monitor: int, monitored: int) -> None:
         if monitored in self._crashed or monitor in self._crashed:
             return
-        config = self._pair_config(monitor, monitored)
-        interval = self._rng.exponential(
-            f"fd/{monitor}/{monitored}/recurrence", config.mistake_recurrence_time
-        )
-        if not math.isfinite(interval):
+        # Cache probed inline: one mistake schedules another, so this runs
+        # once per mistake cycle and the hit path skips the helper frame.
+        state = self._pair_cache.get((monitor, monitored))
+        if state is None:
+            state = self._pair_state(monitor, monitored)
+        interval = state[1]()
+        if interval == INFINITY:
+            return
+        if self._scan_interval is not None:
+            self._calendar_push(KIND_MISTAKE_BEGIN, interval, monitor, monitored)
             return
         handle = self._sim.schedule(interval, self._mistake_begins, monitor, monitored)
-        self._pending.setdefault((monitor, monitored), []).append(handle)
+        pending = self._pending.setdefault((monitor, monitored), [])
+        pending.append(handle)
+        if len(pending) > 3:
+            # At most two events are live per pair (one end, one begin); the
+            # rest have fired or been cancelled.  Prune so long runs do not
+            # accumulate one dead handle per mistake cycle.
+            now = self._sim.now
+            pending[:] = [
+                h for h in pending if not h.cancelled and h.time >= now
+            ]
 
     def _mistake_begins(self, monitor: int, monitored: int) -> None:
         if monitored in self._crashed or monitor in self._crashed:
             return
         detector = self._detectors[monitor]
-        duration = self._rng.exponential(
-            f"fd/{monitor}/{monitored}/duration",
-            self._pair_config(monitor, monitored).mistake_duration,
-        )
-        if not detector.is_suspected(monitored):
+        state = self._pair_cache.get((monitor, monitored))
+        if state is None:
+            state = self._pair_state(monitor, monitored)
+        duration = state[2]()
+        if monitored not in detector._suspected:
             detector._set_suspected(monitored, True)
             if duration <= 0:
                 # Instantaneous mistake: listeners see the suspicion and the
@@ -230,6 +311,29 @@ class QoSFailureDetectorFabric(CrashDetectionFabric):
         self._schedule_next_mistake(monitor, monitored)
 
     def _mistake_ends(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(monitored, False)
+
+    # ------------------------------------------------------------------ batched scan
+
+    def _scan_mistake_begins(self, monitor: int, monitored: int) -> None:
+        if monitored in self._crashed or monitor in self._crashed:
+            return
+        detector = self._detectors[monitor]
+        state = self._pair_cache.get((monitor, monitored))
+        if state is None:
+            state = self._pair_state(monitor, monitored)
+        duration = state[2]()
+        if monitored not in detector._suspected:
+            detector._set_suspected(monitored, True)
+            if duration <= 0:
+                detector._set_suspected(monitored, False)
+            else:
+                self._calendar_push(KIND_MISTAKE_END, duration, monitor, monitored)
+        self._schedule_next_mistake(monitor, monitored)
+
+    def _scan_mistake_ends(self, monitor: int, monitored: int) -> None:
         if monitored in self._crashed:
             return
         self._detectors[monitor]._set_suspected(monitored, False)

@@ -5,12 +5,26 @@ scheduled for the same simulation time fire in the order they were scheduled,
 which makes every run fully deterministic for a given seed.  Simulation time
 is a ``float``; by convention one unit is the network transmission time of a
 single message (interpreted as 1 ms in the paper's plots).
+
+Hot-path notes.  The run loop keeps the queue and the heap primitives in
+locals, cancelled events are *counted* so the heap can be compacted in place
+when more than half of it is dead weight (timer-heavy failure detector
+workloads cancel constantly and would otherwise carry every dead timer until
+its time came), and the instrumented loop is kept as a separate method so the
+instrumentation-off path never branches per event.  None of this changes
+which events execute or in which order: ``events_processed`` and every
+delivered sequence stay bit-identical to the pre-optimisation kernel (pinned
+by the golden tests and the kernel-equivalence property suite).
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional
+
+#: Compaction threshold: never compact below this many cancelled events (the
+#: rebuild is O(queue), so tiny queues are not worth touching).
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -20,11 +34,13 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Handle of a scheduled event, usable for cancellation.
 
-    Instances are ordered by ``(time, sequence number)`` so they can live
-    directly on the kernel's heap.
+    The kernel's heap stores ``(time, seq, handle)`` tuples, so heap
+    comparisons run entirely in C on the leading floats and never reach the
+    handle (``(time, seq)`` is unique).  Handles still order themselves by
+    ``(time, seq)`` for callers that sort them directly.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_cancel_box")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -32,10 +48,17 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator's cancelled-event counter cell (``None`` for
+        #: handles created outside a simulator, e.g. in unit tests).
+        self._cancel_box = None
 
     def cancel(self) -> None:
         """Cancel the event; it will be skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            box = self._cancel_box
+            if box is not None:
+                box[0] += 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,6 +78,18 @@ class Simulator:
         sim.run(until=1000.0)
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_running",
+        "_stopped",
+        "_processed",
+        "_exhausted",
+        "_obs",
+        "_cancel_box",
+    )
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: List[EventHandle] = []
@@ -65,6 +100,11 @@ class Simulator:
         self._exhausted: bool = False
         #: Instrumentation, or ``None`` for the hook-free fast run loop.
         self._obs = None
+        #: Shared one-cell counter of cancelled events still on the heap.
+        #: Handles hold a reference so ``cancel()`` stays O(1) and allocation
+        #: free; the scheduler compacts the heap when the cell outgrows half
+        #: the queue.
+        self._cancel_box: List[int] = [0]
 
     @property
     def now(self) -> float:
@@ -102,11 +142,33 @@ class Simulator:
         """Number of events still waiting on the queue (cancelled included)."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending_events(self) -> int:
+        """Cancelled events still occupying the queue (compaction trigger)."""
+        return self._cancel_box[0]
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        This is the hottest scheduling entry point (every timer, resource
+        completion and pipeline hop goes through it), so it inlines
+        :meth:`schedule_at` instead of delegating -- ``delay >= 0`` already
+        guarantees the event is not in the past.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        box = self._cancel_box
+        handle._cancel_box = box
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, handle))
+        cancelled = box[0]
+        if cancelled >= _COMPACT_MIN and cancelled * 2 > len(queue):
+            self._compact()
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
@@ -114,10 +176,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event in the past (time={time}, now={self._now})"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        handle._cancel_box = self._cancel_box
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, handle))
+        cancelled = self._cancel_box[0]
+        if cancelled >= _COMPACT_MIN and cancelled * 2 > len(queue):
+            self._compact()
         return handle
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap, in place.
+
+        In place matters: a :meth:`run` loop in progress holds a local
+        reference to the queue list, so the rebuild must not rebind it.
+        Cancelled events never execute, so compaction is invisible to the
+        simulation -- it only shrinks :attr:`pending_events`.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancel_box[0] = 0
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the event being processed."""
@@ -144,26 +225,40 @@ class Simulator:
         return self._now
 
     def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> None:
-        """The hook-free event loop (instrumentation off: the hot path)."""
+        """The hook-free event loop (instrumentation off: the hot path).
+
+        Control flow is check-for-check the seed loop (budget, ``until``,
+        cancellation, stop), with the queue, the heap pop and the budget
+        hoisted out of the loop; the event count is folded back into
+        ``_processed`` on exit (exceptions included) so external observers
+        see the same counter the per-iteration increment produced.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        box = self._cancel_box
+        budget = max_events if max_events is not None else float("inf")
         executed = 0
-        while self._queue and not self._stopped:
-            if max_events is not None and executed >= max_events:
-                self._exhausted = True
-                break
-            head = self._queue[0]
-            if until is not None and head.time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            if head.cancelled:
-                continue
-            self._now = head.time
-            head.callback(*head.args)
-            self._processed += 1
-            executed += 1
-        else:
-            if until is not None and not self._queue and self._now < until:
-                self._now = until
+        try:
+            while queue and not self._stopped:
+                if executed >= budget:
+                    self._exhausted = True
+                    break
+                head_time = queue[0][0]
+                if until is not None and head_time > until:
+                    self._now = until
+                    break
+                head = pop(queue)[2]
+                if head.cancelled:
+                    box[0] -= 1
+                    continue
+                self._now = head_time
+                head.callback(*head.args)
+                executed += 1
+            else:
+                if until is not None and not queue and self._now < until:
+                    self._now = until
+        finally:
+            self._processed += executed
 
     def _run_instrumented(self, until: Optional[float], max_events: Optional[int]) -> None:
         """The same loop, emitting per-event hooks.
@@ -175,27 +270,34 @@ class Simulator:
         iteration).  Kept separate so the off path never branches per event.
         """
         obs = self._obs
+        queue = self._queue
+        pop = heapq.heappop
+        box = self._cancel_box
+        budget = max_events if max_events is not None else float("inf")
         executed = 0
-        while self._queue and not self._stopped:
-            obs.queue_depth(len(self._queue))
-            if max_events is not None and executed >= max_events:
-                self._exhausted = True
-                break
-            head = self._queue[0]
-            if until is not None and head.time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            if head.cancelled:
-                continue
-            self._now = head.time
-            head.callback(*head.args)
-            self._processed += 1
-            executed += 1
-            obs.sim_event(head.time, _callback_category(head.callback))
-        else:
-            if until is not None and not self._queue and self._now < until:
-                self._now = until
+        try:
+            while queue and not self._stopped:
+                obs.queue_depth(len(queue))
+                if executed >= budget:
+                    self._exhausted = True
+                    break
+                head_time = queue[0][0]
+                if until is not None and head_time > until:
+                    self._now = until
+                    break
+                head = pop(queue)[2]
+                if head.cancelled:
+                    box[0] -= 1
+                    continue
+                self._now = head_time
+                head.callback(*head.args)
+                executed += 1
+                obs.sim_event(head_time, _callback_category(head.callback))
+            else:
+                if until is not None and not queue and self._now < until:
+                    self._now = until
+        finally:
+            self._processed += executed
 
     def run_until_empty(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain (bounded by ``max_events`` as a guard)."""
@@ -211,6 +313,7 @@ class Simulator:
         self._processed = 0
         self._stopped = False
         self._exhausted = False
+        self._cancel_box[0] = 0
 
 
 def _callback_category(callback: Callable[..., Any]) -> str:
@@ -219,7 +322,9 @@ def _callback_category(callback: Callable[..., Any]) -> str:
     ``Network._emitted`` -> ``"Network._emitted"``; closures collapse to the
     function that created them (``FIFOResource.submit.<locals>.<lambda>`` ->
     ``"FIFOResource.submit"``), which is the granularity the event-loop
-    profile wants.
+    profile wants.  Bound methods (the closure-free dispatch path of the
+    network and the FIFO resources) carry their ``__qualname__`` directly,
+    so they keep resolving to ``Class.method`` buckets.
     """
     qualname = getattr(callback, "__qualname__", None)
     if qualname is None:

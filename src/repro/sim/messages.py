@@ -3,15 +3,20 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 _message_counter = itertools.count()
 
 
-@dataclass(frozen=True)
 class Message:
     """A message travelling through the simulated network.
+
+    A plain slotted class rather than a dataclass: messages are the single
+    most-allocated protocol object in the simulator, and ``__slots__`` plus
+    an eagerly cached remote-destination tuple keep per-send allocation flat
+    (the seed dataclass rebuilt the same tuple up to three times per send).
+    Identity equality is intentional -- ``uid`` is globally unique, so value
+    equality would coincide with identity anyway.
 
     Attributes
     ----------
@@ -29,20 +34,30 @@ class Message:
         Globally unique message identifier, assigned automatically.
     """
 
-    sender: int
-    destinations: Tuple[int, ...]
-    protocol: str
-    body: Any
-    uid: int = field(default_factory=lambda: next(_message_counter))
+    __slots__ = ("sender", "destinations", "protocol", "body", "uid", "_remote")
+
+    def __init__(
+        self,
+        sender: int,
+        destinations: Tuple[int, ...],
+        protocol: str,
+        body: Any,
+        uid: Optional[int] = None,
+    ):
+        self.sender = sender
+        self.destinations = destinations
+        self.protocol = protocol
+        self.body = body
+        self.uid = next(_message_counter) if uid is None else uid
+        self._remote = tuple(d for d in destinations if d != sender)
 
     def is_multicast(self) -> bool:
         """True when the message has more than one remote destination."""
-        remote = [d for d in self.destinations if d != self.sender]
-        return len(remote) > 1
+        return len(self._remote) > 1
 
     def remote_destinations(self) -> Tuple[int, ...]:
-        """Destinations other than the sender itself."""
-        return tuple(d for d in self.destinations if d != self.sender)
+        """Destinations other than the sender itself (cached at creation)."""
+        return self._remote
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -17,6 +17,12 @@ sender is delivered locally, without occupying any resource.
 Crashes follow the paper's *software crash* semantics: once ``p_i`` crashes,
 no message passes between ``p_i`` and ``CPU_i`` any more, but messages that
 were already handed to ``CPU_i`` (queued or in service) are still emitted.
+
+The emission -> transmission -> reception pipeline dispatches through bound
+methods with the message passed as an event argument: the seed allocated
+three closures per remote destination per send, which dominated allocation
+counts on multicast-heavy workloads.  The event sequence itself is
+unchanged, so simulation results stay bit-identical.
 """
 
 from __future__ import annotations
@@ -65,6 +71,15 @@ class NetworkConfig:
 class NetworkStats:
     """Counters describing the traffic a simulation produced."""
 
+    __slots__ = (
+        "messages_sent",
+        "unicasts_sent",
+        "multicasts_sent",
+        "deliveries",
+        "dropped_sender_crashed",
+        "dropped_receiver_crashed",
+    )
+
     def __init__(self) -> None:
         self.messages_sent = 0
         self.unicasts_sent = 0
@@ -75,20 +90,31 @@ class NetworkStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters, keyed by counter name."""
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class Network:
-    """The shared transmission medium plus one CPU resource per process."""
+    """The shared transmission medium plus one CPU resource per process.
+
+    Deliberately *not* slotted: there is one network per run (slots would
+    save nothing) and tests monkeypatch ``send`` to trace traffic.
+    """
 
     def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
         self._sim = sim
         self.config = config
+        # Scalars the per-message pipeline reads, hoisted out of the frozen
+        # dataclass (immutable for the lifetime of the network).
+        self._n = config.n
+        self._lambda_cpu = config.lambda_cpu
+        self._network_time = config.network_time
         self._network = FIFOResource(sim, "network")
         self._cpus: List[FIFOResource] = [
             FIFOResource(sim, f"cpu[{pid}]") for pid in range(config.n)
         ]
-        self._deliver_callbacks: Dict[int, DeliverCallback] = {}
+        # Indexed by pid (``None`` until attached): the delivery fan-out is
+        # the hottest consumer, and a list index beats a dict probe there.
+        self._deliver_callbacks: List[Optional[DeliverCallback]] = [None] * config.n
         self._crashed: Set[int] = set()
         self._crash_times: Dict[int, float] = {}
         self._crash_listeners: List[CrashListener] = []
@@ -112,7 +138,7 @@ class Network:
     @property
     def n(self) -> int:
         """Number of processes."""
-        return self.config.n
+        return self._n
 
     def attach(self, pid: int, callback: DeliverCallback) -> None:
         """Register the delivery callback of process ``pid``."""
@@ -185,7 +211,7 @@ class Network:
 
     def correct_processes(self) -> List[int]:
         """Process ids that have not crashed, in increasing order."""
-        return [pid for pid in range(self.config.n) if pid not in self._crashed]
+        return [pid for pid in range(self._n) if pid not in self._crashed]
 
     # ------------------------------------------------------------------ sending
 
@@ -198,9 +224,13 @@ class Network:
         the current time without using any resource.
         """
         sender = message.sender
-        self._check_pid(sender)
-        for dest in message.destinations:
-            self._check_pid(dest)
+        n = self._n
+        if sender < 0 or sender >= n:
+            self._check_pid(sender)
+        destinations = message.destinations
+        for dest in destinations:
+            if dest < 0 or dest >= n:
+                self._check_pid(dest)
 
         dropped = sender in self._crashed
         if self._obs is not None:
@@ -209,22 +239,21 @@ class Network:
             self.stats.dropped_sender_crashed += 1
             return
 
-        self.stats.messages_sent += 1
+        stats = self.stats
+        stats.messages_sent += 1
         remote = message.remote_destinations()
         if len(remote) > 1:
-            self.stats.multicasts_sent += 1
+            stats.multicasts_sent += 1
         elif len(remote) == 1:
-            self.stats.unicasts_sent += 1
+            stats.unicasts_sent += 1
 
-        if sender in message.destinations:
+        if sender in destinations:
             # Local delivery bypasses the resources but still goes through the
             # event queue so that callers never see re-entrant callbacks.
             self._sim.schedule(0.0, self._deliver_local, sender, message)
 
         if remote:
-            self._cpus[sender].submit(
-                self.config.lambda_cpu, lambda m=message: self._emitted(m)
-            )
+            self._cpus[sender].submit(self._lambda_cpu, self._emitted, message)
 
     def _deliver_local(self, pid: int, message: Message) -> None:
         if pid in self._crashed:
@@ -235,16 +264,14 @@ class Network:
     def _emitted(self, message: Message) -> None:
         # The sending CPU finished the emission processing; the message now
         # occupies the shared network once, regardless of fan-out.
-        self._network.submit(
-            self.config.network_time, lambda m=message: self._transmitted(m)
-        )
+        self._network.submit(self._network_time, self._transmitted, message)
 
     def _transmitted(self, message: Message) -> None:
+        cpus = self._cpus
+        lambda_cpu = self._lambda_cpu
+        received = self._received
         for dest in message.remote_destinations():
-            self._cpus[dest].submit(
-                self.config.lambda_cpu,
-                lambda d=dest, m=message: self._received(d, m),
-            )
+            cpus[dest].submit(lambda_cpu, received, dest, message)
 
     def _received(self, dest: int, message: Message) -> None:
         if dest in self._crashed:
@@ -254,7 +281,7 @@ class Network:
         self._deliver(dest, message)
 
     def _deliver(self, dest: int, message: Message) -> None:
-        callback = self._deliver_callbacks.get(dest)
+        callback = self._deliver_callbacks[dest]
         if callback is None:
             raise RuntimeError(f"no process attached for destination {dest}")
         self.stats.deliveries += 1
@@ -265,5 +292,5 @@ class Network:
     # ------------------------------------------------------------------ helpers
 
     def _check_pid(self, pid: int) -> None:
-        if not 0 <= pid < self.config.n:
-            raise ValueError(f"process id {pid} out of range 0..{self.config.n - 1}")
+        if not 0 <= pid < self._n:
+            raise ValueError(f"process id {pid} out of range 0..{self._n - 1}")

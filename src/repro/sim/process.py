@@ -97,6 +97,11 @@ class SimProcess:
         self._components: Dict[str, Component] = {}
         self._crashed = False
         self._timers: List[EventHandle] = []
+        # Amortized prune threshold: ``_timers`` only exists so ``crash()``
+        # can cancel pending timers, so fired/cancelled handles are swept out
+        # once the list doubles past this mark (long steady runs would
+        # otherwise keep one dead handle per timer ever set).
+        self._timer_prune_at = 128
         #: Failure detector attached to this process (set by the system builder).
         self.failure_detector = None
         #: Instrumentation components inherit at construction (NULL = off).
@@ -157,7 +162,14 @@ class SimProcess:
     def set_timer(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)``; silently skipped if crashed by then."""
         handle = self.sim.schedule(delay, self._fire_timer, callback, args)
-        self._timers.append(handle)
+        timers = self._timers
+        timers.append(handle)
+        if len(timers) >= self._timer_prune_at:
+            # Handles that fired or were cancelled no longer need cancelling
+            # on crash; dropping them is invisible to the simulation.
+            now = self.sim.now
+            timers[:] = [h for h in timers if not h.cancelled and h.time >= now]
+            self._timer_prune_at = max(128, 2 * len(timers))
         return handle
 
     def _fire_timer(self, callback: Callable[..., Any], args: tuple) -> None:

@@ -212,7 +212,9 @@ def _make_gm_builder(uniform: bool, reform: bool = False):
 def _qos_fabric(sim, network, rng, config):
     from repro.failure_detectors.qos import QoSFailureDetectorFabric
 
-    return QoSFailureDetectorFabric(sim, network, rng, config.fd)
+    return QoSFailureDetectorFabric(
+        sim, network, rng, config.fd, scan_interval=config.fd_scan_interval
+    )
 
 
 def _heartbeat_fabric(sim, network, rng, config):
@@ -225,7 +227,11 @@ def _perfect_fabric(sim, network, rng, config):
     from repro.failure_detectors.perfect import PerfectFailureDetectorFabric
 
     return PerfectFailureDetectorFabric(
-        sim, network, rng, detection_time=config.fd.detection_time
+        sim,
+        network,
+        rng,
+        detection_time=config.fd.detection_time,
+        scan_interval=config.fd_scan_interval,
     )
 
 

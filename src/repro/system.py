@@ -117,6 +117,18 @@ class SystemConfig:
         never perturbs the run -- delivered sequences, latencies and event
         counts are bit-identical either way (golden-neutrality tests pin
         this).
+    fd_scan_interval:
+        ``None`` (the default) keeps the exact clock-driven failure detector
+        semantics: every pair transition is its own simulator event, and all
+        golden baselines are pinned against this mode.  A positive value
+        switches the qos/perfect fabrics to the **batched scan**: pair
+        transitions are kept on a fabric-local calendar and drained by one
+        simulator event per scan tick, firing each transition at the next
+        multiple of the interval.  This turns the O(n^2) per-pair timer
+        events into O(1) armed events -- the throughput lane for large-n
+        sweeps -- at the cost of quantizing detector transitions to the
+        tick (the same approximation the heartbeat detector's
+        ``check_interval`` already makes; heartbeat ignores this knob).
 
     The keyword ``algorithm=`` is accepted as a **deprecated alias** of
     ``stack=`` (it emits a :class:`DeprecationWarning` once, at
@@ -137,6 +149,7 @@ class SystemConfig:
     reformation_timeout: float = 500.0
     pipeline_depth: int = 2
     instrument: bool = False
+    fd_scan_interval: Optional[float] = None
 
     def __init__(
         self,
@@ -153,6 +166,7 @@ class SystemConfig:
         reformation_timeout: float = 500.0,
         pipeline_depth: int = 2,
         instrument: bool = False,
+        fd_scan_interval: Optional[float] = None,
         algorithm: Optional[str] = None,
     ) -> None:
         if algorithm is not None:
@@ -185,8 +199,13 @@ class SystemConfig:
         set_field(self, "renumber_coordinators", renumber_coordinators)
         set_field(self, "join_retry_interval", join_retry_interval)
         set_field(self, "reformation_timeout", reformation_timeout)
+        if fd_scan_interval is not None and fd_scan_interval <= 0:
+            raise ValueError(
+                f"fd_scan_interval must be > 0 (or None), got {fd_scan_interval}"
+            )
         set_field(self, "pipeline_depth", pipeline_depth)
         set_field(self, "instrument", bool(instrument))
+        set_field(self, "fd_scan_interval", fd_scan_interval)
 
     @property
     def algorithm(self) -> str:

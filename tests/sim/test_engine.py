@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator, _callback_category
 
 
 class TestScheduling:
@@ -213,3 +213,150 @@ class TestRunExhausted:
         sim.run(max_events=3)
         assert sim.run_exhausted
         assert sim.events_processed == 3
+
+
+class TestHeapCompaction:
+    """Cancelled events must not accumulate on the heap without bound.
+
+    Timer-heavy failure-detector workloads reschedule (cancel + re-arm)
+    one timer per monitored pair per message; before lazy compaction the
+    dead handles sat on the heap until their original firing time.
+    """
+
+    def test_cancelled_events_are_counted(self, simulator):
+        handles = [simulator.schedule(10.0, lambda: None) for _ in range(5)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert simulator.cancelled_pending_events == 3
+        assert simulator.pending_events == 5
+
+    def test_double_cancel_counts_once(self, simulator):
+        handle = simulator.schedule(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert simulator.cancelled_pending_events == 1
+
+    def test_popping_a_cancelled_head_decrements_the_counter(self, simulator):
+        simulator.schedule(1.0, lambda: None).cancel()
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        assert simulator.cancelled_pending_events == 0
+        assert simulator.events_processed == 1
+
+    def test_mostly_cancelled_heap_is_compacted(self, simulator):
+        # Far-future timers that are immediately re-armed: the classic
+        # heartbeat pattern.  The live population stays tiny, so the heap
+        # must not retain the hundreds of cancelled predecessors.
+        live = simulator.schedule(1_000.0, lambda: None)
+        for _ in range(500):
+            live.cancel()
+            live = simulator.schedule(1_000.0, lambda: None)
+        assert simulator.pending_events < 200
+        # Compaction fires once >= 64 cancelled events outnumber the live
+        # ones, so the dead population can never reach 2x the threshold.
+        assert simulator.cancelled_pending_events < 128
+
+    def test_timer_heavy_workload_has_bounded_queue(self):
+        # Regression for the heap-bloat bug: a heartbeat-style workload
+        # (cancel + re-arm a far-future timeout on every tick) ran the
+        # queue up linearly with tick count.  With lazy compaction the
+        # pending count stays bounded by a small constant regardless of
+        # how many ticks execute.
+        sim = Simulator()
+        n_pairs = 20
+        timeouts = {}
+        high_water = [0]
+
+        def tick(pair):
+            old = timeouts.get(pair)
+            if old is not None:
+                old.cancel()
+            timeouts[pair] = sim.schedule(500.0, lambda: None)
+            sim.schedule(1.0, tick, pair)
+            high_water[0] = max(high_water[0], sim.pending_events)
+
+        for pair in range(n_pairs):
+            sim.schedule(0.1 * pair, tick, pair)
+        sim.run(until=400.0)
+        # ~8000 cancel/re-arm cycles; without compaction the queue peaks
+        # above n_pairs * ticks.  Bounded means O(live events), with slack
+        # for the half-dead compaction threshold.
+        assert high_water[0] < 10 * n_pairs + 200
+        assert sim.cancelled_pending_events <= sim.pending_events
+
+    def test_compaction_does_not_change_execution(self, simulator):
+        fired = []
+        keep = []
+        for i in range(300):
+            handle = simulator.schedule(float(i) + 1.0, fired.append, i)
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        simulator.schedule(0.5, fired.append, "first")
+        simulator.run()
+        assert fired == ["first"] + keep
+
+    def test_compaction_during_run_is_safe(self):
+        # A callback that cancels hundreds of events and schedules a new
+        # one triggers compaction *while the run loop holds the queue
+        # reference*; the in-place rebuild must keep the loop working.
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule(900.0, lambda: None) for _ in range(400)]
+
+        def massacre():
+            for victim in victims:
+                victim.cancel()
+            sim.schedule(1.0, fired.append, "after-compaction")
+
+        sim.schedule(1.0, massacre)
+        sim.schedule(5.0, fired.append, "tail")
+        sim.run()
+        assert fired == ["after-compaction", "tail"]
+        assert sim.pending_events == 0
+
+
+class TestCallbackCategory:
+    """Event-profile buckets must resolve for every dispatch shape in use."""
+
+    def test_bound_method_resolves_to_class_and_method(self):
+        sim = Simulator()
+        assert _callback_category(sim.stop) == "Simulator.stop"
+
+    def test_network_pipeline_methods_resolve(self):
+        from repro.sim.messages import Message
+        from repro.sim.network import Network, NetworkConfig
+
+        sim = Simulator()
+        network = Network(sim, NetworkConfig(n=3))
+        message = Message(sender=0, destinations=(1, 2), protocol="t", body=None)
+        assert _callback_category(network._emitted) == "Network._emitted"
+        assert _callback_category(network._transmitted) == "Network._transmitted"
+        assert _callback_category(network._received) == "Network._received"
+        # FIFO completion events dispatch through the resource's bound
+        # _finish with the continuation as an argument, so the category
+        # stays the resource bucket, not the continuation's.
+        network.send(message)
+        entry = sim._queue[0]
+        assert _callback_category(entry[2].callback) == "FIFOResource._finish"
+
+    def test_closure_collapses_to_defining_function(self):
+        def outer():
+            return lambda: None
+
+        # qualname splits at the first ``.<locals>``: everything nested in a
+        # function collapses to the outermost defining scope.
+        assert _callback_category(outer()) == (
+            "TestCallbackCategory.test_closure_collapses_to_defining_function"
+        )
+
+    def test_plain_function_uses_qualname(self):
+        assert _callback_category(_callback_category) == "_callback_category"
+
+    def test_callable_without_qualname_falls_back_to_type(self):
+        class Callable:
+            def __call__(self):
+                return None
+
+        assert _callback_category(Callable()) == "Callable"
