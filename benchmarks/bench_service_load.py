@@ -1,0 +1,177 @@
+"""Service load-testing benchmark: capacity curves for the replicated KV store.
+
+Sweeps an open-loop client population over offered load for three protocol
+stacks, with sequencer request batching off and on, and reports the goodput
+and client-perceived response-time percentiles (p50/p99/p999) at every point.
+The headline number is the saturation throughput per (stack, batch) pair and
+the batching gain -- the acceptance criterion is a >= 2x saturation-goodput
+gain at equal n from amortizing the ordering step over ``max_batch`` requests.
+
+CI runs it in smoke mode (``REPRO_BENCH_SMOKE=1``, a reduced sweep) on every
+PR and uploads ``benchmarks/output/BENCH_service.json`` as an artifact so the
+capacity curve is inspectable per commit.
+
+Usage::
+
+    python benchmarks/bench_service_load.py           # full sweep
+    REPRO_BENCH_SMOKE=1 python benchmarks/bench_service_load.py
+    python -m pytest benchmarks/bench_service_load.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.scenarios import run_service_load
+from repro.system import SystemConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+STACKS = ("fd", "gm", "gm-reform")
+BATCHES = (0, 8)
+#: Offered load sweep (requests/s) -- the top points sit far above capacity.
+OFFERED_LOADS = (1000.0, 8000.0) if SMOKE else (500.0, 1000.0, 2000.0, 4000.0, 8000.0)
+REQUESTS = 80 if SMOKE else 250
+N = 4
+SEED = 87
+MAX_DELAY = 2.0
+MAX_INFLIGHT = 128
+MAX_QUEUE = 256
+#: Minimum saturation-goodput gain from batching, per stack (acceptance bar).
+GAIN_GATE = 2.0
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def run_point(stack: str, max_batch: int, offered_load: float) -> Dict[str, float]:
+    """One open-loop load point; returns the capacity-curve row."""
+    config = SystemConfig(
+        n=N,
+        stack=stack,
+        seed=SEED,
+        max_batch=max_batch,
+        max_delay=MAX_DELAY if max_batch else 0.0,
+    )
+    result = run_service_load(
+        config,
+        offered_load,
+        num_requests=REQUESTS,
+        max_inflight=MAX_INFLIGHT,
+        max_queue=MAX_QUEUE,
+    )
+    params = result.params
+    return {
+        "stack": stack,
+        "max_batch": max_batch,
+        "offered_load": offered_load,
+        "goodput": params["goodput"],
+        "p50": params["p50"],
+        "p99": params["p99"],
+        "p999": params["p999"],
+        "shed": params["outcomes"]["shed"],
+        "replicas_consistent": params["replicas_consistent"],
+    }
+
+
+def run_benchmark() -> Dict[str, object]:
+    """Run the sweep and assemble the JSON payload."""
+    rows: List[Dict[str, float]] = []
+    for stack in STACKS:
+        for max_batch in BATCHES:
+            for offered_load in OFFERED_LOADS:
+                rows.append(run_point(stack, max_batch, offered_load))
+
+    saturation: Dict[str, Dict[str, float]] = {}
+    gains: Dict[str, float] = {}
+    for stack in STACKS:
+        best = {
+            max_batch: max(
+                row["goodput"]
+                for row in rows
+                if row["stack"] == stack and row["max_batch"] == max_batch
+            )
+            for max_batch in BATCHES
+        }
+        saturation[stack] = {f"batch_{k}": v for k, v in best.items()}
+        gains[stack] = best[BATCHES[1]] / best[BATCHES[0]]
+
+    return {
+        "mode": "smoke" if SMOKE else "full",
+        "n": N,
+        "seed": SEED,
+        "requests_per_point": REQUESTS,
+        "offered_loads": list(OFFERED_LOADS),
+        "stacks": list(STACKS),
+        "batches": list(BATCHES),
+        "max_inflight": MAX_INFLIGHT,
+        "max_queue": MAX_QUEUE,
+        "gain_gate": GAIN_GATE,
+        "points": rows,
+        "saturation_goodput": saturation,
+        "batching_gain": gains,
+    }
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Human-readable capacity-curve table for the job log."""
+    lines = [
+        f"service load benchmark ({payload['mode']}: "
+        f"{payload['requests_per_point']} reqs/point, n={payload['n']})",
+        f"{'stack':<10} {'batch':>5} {'offered/s':>10} {'goodput/s':>10} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'p999 ms':>9} {'shed':>5}",
+    ]
+    for row in payload["points"]:
+        lines.append(
+            f"{row['stack']:<10} {row['max_batch']:>5} {row['offered_load']:>10.0f} "
+            f"{row['goodput']:>10.0f} {row['p50']:>8.2f} {row['p99']:>8.2f} "
+            f"{row['p999']:>9.2f} {row['shed']:>5}"
+        )
+    lines.append("")
+    lines.append(f"{'stack':<10} {'sat (k=0)':>10} {'sat (k=8)':>10} {'gain':>6}")
+    for stack in payload["stacks"]:
+        sat = payload["saturation_goodput"][stack]
+        lines.append(
+            f"{stack:<10} {sat['batch_0']:>10.0f} {sat['batch_8']:>10.0f} "
+            f"{payload['batching_gain'][stack]:>5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_artifacts(payload: Dict[str, object], report: str) -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(
+        os.path.join(OUTPUT_DIR, "bench_service.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(report + "\n")
+    with open(
+        os.path.join(OUTPUT_DIR, "BENCH_service.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_service_load_capacity_curve():
+    """Pytest entry point: run the sweep, persist artifacts, gate the gain."""
+    payload = run_benchmark()
+    report = format_report(payload)
+    write_artifacts(payload, report)
+    print()
+    print(report)
+    for row in payload["points"]:
+        assert row["replicas_consistent"], (
+            f"replicas diverged at {row['stack']} batch={row['max_batch']} "
+            f"offered={row['offered_load']}"
+        )
+    for stack, gain in payload["batching_gain"].items():
+        assert gain >= GAIN_GATE, (
+            f"batching gain for {stack} is {gain:.2f}x "
+            f"(gate {GAIN_GATE:.1f}x at saturation)"
+        )
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    report = format_report(payload)
+    write_artifacts(payload, report)
+    print(report)

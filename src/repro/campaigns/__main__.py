@@ -14,12 +14,13 @@ Examples::
     python -m repro.campaigns --scenario churn-steady --stack fd --fd heartbeat \\
         --detection-time 10 --cache-dir .campaign-cache
 
-Eight scenario kinds are available: the paper's four (``normal-steady``,
-``crash-steady``, ``suspicion-steady``, ``crash-transient``) and the
+Nine scenario kinds are available: the paper's four (``normal-steady``,
+``crash-steady``, ``suspicion-steady``, ``crash-transient``), the
 beyond-paper fault-schedule scenarios (``correlated-crash``,
-``churn-steady``, ``asymmetric-qos``, ``view-majority-loss``); ``churn`` /
-``correlated`` / ``asymmetric`` / ``normal`` / ``majority-loss`` are
-accepted shorthands.  ``view-majority-loss`` drives the GM stacks into the
+``churn-steady``, ``asymmetric-qos``, ``view-majority-loss``) and the
+replicated-KV load test (``service-load``); ``churn`` / ``correlated`` /
+``asymmetric`` / ``normal`` / ``majority-loss`` / ``service`` are accepted
+shorthands.  ``view-majority-loss`` drives the GM stacks into the
 documented view-majority-loss deadlock and measures time-to-reformation
 under ``gm-reform`` (``--reformation-timeout`` sweeps the trigger window)::
 
@@ -28,6 +29,18 @@ under ``gm-reform`` (``--reformation-timeout`` sweeps the trigger window)::
 
 ``--hb-period`` / ``--hb-timeout`` set the heartbeat detector's parameters
 as first-class sweep dimensions whenever ``--fd heartbeat`` is selected.
+
+``service-load`` drives the replicated KV store through a client
+population; ``--throughputs`` is the offered-load axis (open loop) unless
+``--clients`` selects a closed loop, and ``--max-batch`` / ``--consistency``
+sweep request batching and the read path::
+
+    python -m repro.campaigns --scenario service-load --stack fd gm \\
+        --throughputs 200 1000 4000 --max-batch 8
+
+``--max-batch`` / ``--max-delay`` (request batching) and
+``--fd-scan-interval`` (the batched failure-detector scan) are
+config-level dimensions available under *every* scenario kind.
 
 ``--stack`` sweeps protocol stacks from the registry (``fd``, ``gm``,
 ``gm-nonuniform``, or slash-qualified variants like ``fd/heartbeat``) and
@@ -63,6 +76,7 @@ SCENARIO_ALIASES = {
     "churn": "churn-steady",
     "asymmetric": "asymmetric-qos",
     "majority-loss": "view-majority-loss",
+    "service": "service-load",
 }
 
 
@@ -178,6 +192,42 @@ def main(argv: List[str] = None) -> int:
         default=0.0,
         help="heartbeat timeout in ms, 0 = default (fd kind heartbeat)",
     )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="closed-loop client count, 0 = open loop (service-load)",
+    )
+    parser.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="mean client think time in ms (service-load, closed loop)",
+    )
+    parser.add_argument(
+        "--consistency",
+        choices=("ordered", "local"),
+        default="ordered",
+        help="read path: totally ordered or local stale reads (service-load)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=0,
+        help="request batching: payloads per ordering step, 0 = unbatched (any scenario)",
+    )
+    parser.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.0,
+        help="max batching delay in ms before a partial batch flushes (any scenario)",
+    )
+    parser.add_argument(
+        "--fd-scan-interval",
+        type=float,
+        default=0.0,
+        help="batched FD scan tick in ms, 0 = exact per-pair events (any scenario)",
+    )
     parser.add_argument("--name", default="adhoc", help="campaign name")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
@@ -226,6 +276,12 @@ def main(argv: List[str] = None) -> int:
         reformation_timeout=args.reformation_timeout,
         heartbeat_period=args.hb_period,
         heartbeat_timeout=args.hb_timeout,
+        clients=args.clients,
+        think_time=args.think_time,
+        consistency=args.consistency,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        fd_scan_interval=args.fd_scan_interval,
     )
 
     store = ResultStore(args.cache_dir) if args.cache_dir else None

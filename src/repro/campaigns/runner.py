@@ -22,6 +22,7 @@ from repro.scenarios.extended import (
     run_correlated_crash,
     run_view_majority_loss,
 )
+from repro.scenarios.service_load import run_service_load
 from repro.scenarios.steady import (
     run_crash_steady,
     run_normal_steady,
@@ -97,6 +98,15 @@ def execute_point(point: PointSpec, trace_dir: Optional[str] = None) -> Dict[str
             crash_time=point.crash_time if point.crash_time > 0 else VML_CRASH_TIME,
             num_messages=point.num_messages,
         )
+    elif point.kind == "service-load":
+        result = run_service_load(
+            config,
+            point.throughput,
+            clients=point.clients,
+            think_time=point.think_time,
+            consistency=point.consistency,
+            num_requests=point.num_messages,
+        )
     elif point.kind == "asymmetric-qos":
         result = run_asymmetric_qos(
             config,
@@ -152,15 +162,25 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         instrument: bool = False,
         trace_dir: Optional[str] = None,
+        fd_scan_interval: float = 0.0,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if fd_scan_interval < 0:
+            raise ValueError(
+                f"fd_scan_interval must be >= 0 (0 = exact), got {fd_scan_interval}"
+            )
         self.jobs = jobs
         self.store = store
         # Trace files only exist for instrumented runs, so asking for them
         # implies instrumenting.
         self.instrument = instrument or trace_dir is not None
         self.trace_dir = trace_dir
+        #: Run every point under the batched failure-detector scan with this
+        #: tick (ms); 0 keeps each point's own setting.  Like ``instrument``,
+        #: this rewrites the executed points, so scanned and exact runs of
+        #: the same operating point cache under distinct keys.
+        self.fd_scan_interval = fd_scan_interval
         #: Statistics of the most recent :meth:`run` (for CLI reporting).
         self.last_run: Optional[CampaignRun] = None
 
@@ -199,9 +219,20 @@ class CampaignRunner:
         return run
 
     def _executed_point(self, point: PointSpec) -> PointSpec:
-        """The point actually simulated: instrumented clone when requested."""
+        """The point actually simulated: rewritten clone when requested."""
+        changes: Dict[str, Any] = {}
         if self.instrument and not point.instrument:
-            return replace(point, instrument=True)
+            changes["instrument"] = True
+        if (
+            self.fd_scan_interval > 0
+            and point.fd_scan_interval == 0
+            # The heartbeat fabric ignores the scan tick; rewriting would
+            # mint a new cache key for an identical simulation.
+            and point.fd_kind != "heartbeat"
+        ):
+            changes["fd_scan_interval"] = self.fd_scan_interval
+        if changes:
+            return replace(point, **changes)
         return point
 
     def _run_parallel(self, pending: List[PointSpec], run: CampaignRun) -> None:

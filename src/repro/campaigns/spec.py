@@ -38,6 +38,7 @@ SCENARIO_KINDS = (
     "churn-steady",
     "asymmetric-qos",
     "view-majority-loss",
+    "service-load",
 )
 
 #: Bump when the meaning of a point's fields changes, to invalidate caches.
@@ -61,7 +62,14 @@ SCENARIO_KINDS = (
 #: the golden-neutrality tests) but produce different records, and a
 #: metrics-bearing record must never be satisfied by a metrics-less cache
 #: hit.  Migration as before: old v4 caches are simply never hit again.
-SCHEMA_VERSION = 5
+#: v6: the service-load subsystem -- ``service-load`` became a kind and six
+#: sweep dimensions were added (``clients`` / ``think_time`` /
+#: ``consistency`` for the client population, ``max_batch`` / ``max_delay``
+#: for request batching and ``fd_scan_interval`` for the batched detector
+#: scan), so every point's canonical dict changed again.  Migration as
+#: before: version-prefixed keys never collide, so old v5 caches are simply
+#: never hit again; delete them or leave them in place and re-simulate.
+SCHEMA_VERSION = 6
 
 INFINITY = float("inf")
 
@@ -179,6 +187,21 @@ class PointSpec:
     #: defaults (``fd_kind="heartbeat"`` only).
     heartbeat_period: float = 0.0
     heartbeat_timeout: float = 0.0
+    #: Closed-loop client count (service-load only); 0 runs the open loop
+    #: at ``throughput`` requests/s instead.
+    clients: int = 0
+    #: Mean exponential think time per closed-loop client, ms (service-load).
+    think_time: float = 0.0
+    #: Read-path consistency, ``"ordered"`` or ``"local"`` (service-load).
+    consistency: str = "ordered"
+    #: Request batching (any kind): 0 keeps the unbatched system, a positive
+    #: value coalesces up to that many requests per ordering step.
+    max_batch: int = 0
+    #: Maximum batching delay, ms (``max_batch > 0`` only).
+    max_delay: float = 0.0
+    #: Batched failure-detector scan tick, ms; 0 keeps the exact per-pair
+    #: event semantics (any kind; ignored by ``fd_kind="heartbeat"``).
+    fd_scan_interval: float = 0.0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     #: Run the point instrumented (:mod:`repro.obs`): the record gains a
@@ -252,9 +275,24 @@ class PointSpec:
                     f"canonical suspicion window ({VML_SUSPECT_START:g}, "
                     f"{window_end:g}), got {self.crash_time} (0 = default)"
                 )
-        for knob in ("reformation_timeout", "heartbeat_period", "heartbeat_timeout"):
+        for knob in (
+            "reformation_timeout",
+            "heartbeat_period",
+            "heartbeat_timeout",
+            "think_time",
+            "max_delay",
+            "fd_scan_interval",
+        ):
             if getattr(self, knob) < 0:
                 raise ValueError(f"{knob} must be >= 0 (0 = default), got {getattr(self, knob)}")
+        if self.clients < 0:
+            raise ValueError(f"clients must be >= 0 (0 = open loop), got {self.clients}")
+        if self.max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0 (0 = unbatched), got {self.max_batch}")
+        if self.consistency not in ("ordered", "local"):
+            raise ValueError(
+                f"consistency must be 'ordered' or 'local', got {self.consistency!r}"
+            )
         if self.kind == "asymmetric-qos":
             if self.flaky_monitor == self.flaky_target:
                 raise ValueError("the flaky observer pair needs two distinct processes")
@@ -278,6 +316,11 @@ class PointSpec:
                     timeout=self.heartbeat_timeout or defaults.timeout,
                 ),
             )
+        if self.max_batch > 0:
+            extras.setdefault("max_batch", self.max_batch)
+            extras.setdefault("max_delay", self.max_delay)
+        if self.fd_scan_interval > 0:
+            extras.setdefault("fd_scan_interval", self.fd_scan_interval)
         # ``instrument`` may also arrive via config_overrides; either wins.
         extras["instrument"] = bool(extras.pop("instrument", False)) or self.instrument
         return SystemConfig(
@@ -320,6 +363,12 @@ class PointSpec:
             "reformation_timeout": _json_number(self.reformation_timeout),
             "heartbeat_period": _json_number(self.heartbeat_period),
             "heartbeat_timeout": _json_number(self.heartbeat_timeout),
+            "clients": int(self.clients),
+            "think_time": _json_number(self.think_time),
+            "consistency": self.consistency,
+            "max_batch": int(self.max_batch),
+            "max_delay": _json_number(self.max_delay),
+            "fd_scan_interval": _json_number(self.fd_scan_interval),
             "config_overrides": {
                 name: _json_number(value) for name, value in self.config_overrides
             },
@@ -372,6 +421,15 @@ class PointSpec:
                     if self.reformation_timeout > 0
                     else ""
                 )
+            ),
+            "service-load": (
+                (
+                    f" clients={self.clients} think={self.think_time:g}ms"
+                    if self.clients > 0
+                    else " open-loop"
+                )
+                + (f" batch={self.max_batch}" if self.max_batch > 0 else "")
+                + (f" {self.consistency}" if self.consistency != "ordered" else "")
             ),
         }[self.kind]
         stack = self.stack if self.fd_kind == "qos" else f"{self.stack}/{self.fd_kind}"
@@ -460,6 +518,12 @@ def grid(
     reformation_timeout: float = 0.0,
     heartbeat_period: float = 0.0,
     heartbeat_timeout: float = 0.0,
+    clients: int = 0,
+    think_time: float = 0.0,
+    consistency: str = "ordered",
+    max_batch: int = 0,
+    max_delay: float = 0.0,
+    fd_scan_interval: float = 0.0,
     config_overrides: Iterable[Tuple[str, Any]] = (),
     description: str = "",
 ) -> CampaignSpec:
@@ -588,6 +652,24 @@ def grid(
                                 ),
                                 heartbeat_timeout=(
                                     heartbeat_timeout if fd_kind == "heartbeat" else 0.0
+                                ),
+                                clients=(clients if kind == "service-load" else 0),
+                                think_time=(
+                                    think_time if kind == "service-load" else 0.0
+                                ),
+                                consistency=(
+                                    consistency if kind == "service-load" else "ordered"
+                                ),
+                                # Config-level knobs: they reshape the system
+                                # under any scenario kind, so no kind scoping.
+                                max_batch=max_batch,
+                                max_delay=max_delay,
+                                fd_scan_interval=(
+                                    # The heartbeat fabric ignores the scan
+                                    # tick; zero it so fd-kind comparison
+                                    # sweeps don't mint distinct cache keys
+                                    # for identical heartbeat runs.
+                                    0.0 if fd_kind == "heartbeat" else fd_scan_interval
                                 ),
                                 config_overrides=overrides,
                             )

@@ -280,6 +280,7 @@ class FDAtomicBroadcast(AtomicBroadcast):
                 return
             proposal_ids = tuple(sorted(fresh))
             proposal = (self.pid, proposal_ids)
+            self._obs.observe("abcast.proposal_size", len(proposal_ids))
             self._highest_proposed = k
             self._inflight_proposals[k] = set(proposal_ids)
             self.consensus_started += 1

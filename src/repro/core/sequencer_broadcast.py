@@ -221,6 +221,7 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
             self._obs.abcast_sequenced(self.now, self.pid, broadcast_id)
         self._unsequenced = []
         entries = tuple(entries)
+        self._obs.observe("abcast.batch_size", len(entries))
         self._batch_entries[batch_id] = entries
         self._batch_acks[batch_id] = {self.pid}
         self.batches_sequenced += 1

@@ -12,12 +12,18 @@ processes; the tables are bit-identical to a serial run.  With
 resumes where it stopped and shared points (e.g. the no-crash curves of
 Figs. 4 and 5 in quick mode) are simulated only once.
 
-Beyond the figures, ``--scenario`` runs any of the eight scenario kinds as
+``--fd-scan-interval Q`` reruns any figure under the batched
+failure-detector scan (one calendar event per Q ms instead of per-pair
+timers) -- the throughput lane for large-n sweeps; scanned points cache
+under their own keys.
+
+Beyond the figures, ``--scenario`` runs any of the nine scenario kinds as
 an ad-hoc campaign grid (delegating to ``python -m repro.campaigns``, whose
 options apply -- including ``--stack`` / ``--fd`` for sweeping registered
 protocol stacks and failure detector kinds, ``--hb-period`` /
-``--hb-timeout`` for the heartbeat detector plane, and
-``--reformation-timeout`` for the ``gm-reform`` recovery window)::
+``--hb-timeout`` for the heartbeat detector plane,
+``--reformation-timeout`` for the ``gm-reform`` recovery window, and the
+service-load axes ``--clients`` / ``--consistency`` / ``--max-batch``)::
 
     python -m repro.experiments --scenario churn --churn-rate 2 \\
         --throughputs 10 100 --jobs 4 --cache-dir .cache
@@ -85,6 +91,15 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="cache completed points in DIR/results.jsonl (resumable sweeps)",
     )
+    parser.add_argument(
+        "--fd-scan-interval",
+        type=float,
+        default=0.0,
+        help=(
+            "run every point under the batched FD scan with this tick in ms "
+            "(the large-n throughput lane); 0 = exact per-pair events"
+        ),
+    )
     parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     parser.add_argument("--check", action="store_true", help="also print the shape checks")
     parser.add_argument(
@@ -111,6 +126,7 @@ def main(argv: List[str] = None) -> int:
         store=store,
         instrument=args.metrics_out is not None,
         trace_dir=args.trace,
+        fd_scan_interval=args.fd_scan_interval,
     )
 
     sections: List[str] = []

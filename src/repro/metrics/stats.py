@@ -77,6 +77,42 @@ def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
     return Summary(count, mean, std, halfwidth, min(data), max(data), confidence)
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` by linear interpolation (NaN if empty).
+
+    ``q`` is a fraction in ``[0, 1]``; the estimator interpolates between
+    order statistics (the same convention as ``numpy.percentile``'s default),
+    so small service-latency samples still give stable p99/p999 readings.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def latency_percentiles(values: Iterable[float]) -> dict:
+    """The service-level latency quantiles (p50/p90/p99/p999) of ``values``.
+
+    Returns NaN entries for an empty sample so downstream tables can render
+    "no data" uniformly instead of special-casing missing keys.
+    """
+    ordered = sorted(float(v) for v in values)
+    return {
+        "p50": percentile(ordered, 0.50),
+        "p90": percentile(ordered, 0.90),
+        "p99": percentile(ordered, 0.99),
+        "p999": percentile(ordered, 0.999),
+    }
+
+
 def throughput_from_interarrival(mean_interarrival_ms: float) -> float:
     """Convert a mean inter-arrival time in ms to a throughput in messages/s."""
     if mean_interarrival_ms <= 0:

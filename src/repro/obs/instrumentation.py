@@ -81,6 +81,15 @@ class NullInstrumentation:
     def reformation_proposed(self, time, pid, epoch):
         pass
 
+    def service_request(self, time, client, status):
+        pass
+
+    def service_reply(self, time, client, response_time):
+        pass
+
+    def service_batch(self, time, pid, size):
+        pass
+
     def sim_event(self, time, category):
         pass
 
@@ -122,6 +131,9 @@ HOOKS = (
     "view_change",
     "view_installed",
     "reformation_proposed",
+    "service_request",
+    "service_reply",
+    "service_batch",
 )
 
 
@@ -382,6 +394,43 @@ class Instrumentation:
         if self.record_events:
             self.events.append(
                 {"t": time, "ev": "reformation_proposed", "pid": pid, "epoch": epoch}
+            )
+
+    def service_request(self, time: float, client: int, status: str) -> None:
+        """The service layer admitted/queued/shed one client request.
+
+        ``status`` is ``"admitted"`` (A-broadcast immediately), ``"queued"``
+        (parked in the admission queue until the in-flight window frees up),
+        ``"shed"`` (rejected: window and queue both full) or ``"local"``
+        (served from the ingress replica's local state, bypassing the
+        broadcast layer entirely -- the ``consistency="local"`` read path).
+        """
+        self.counters["service.requests"] += 1
+        self.counters["service.requests." + status] += 1
+        self._notify("service_request", time, client, status)
+        if self.record_events:
+            self.events.append(
+                {"t": time, "ev": "service_request", "client": client, "status": status}
+            )
+
+    def service_reply(self, time: float, client: int, response_time: float) -> None:
+        """One client request completed with a reply after ``response_time`` ms."""
+        self.counters["service.replies"] += 1
+        self.observe("service.response_time", response_time)
+        self._notify("service_reply", time, client, response_time)
+        if self.record_events:
+            self.events.append(
+                {"t": time, "ev": "service_reply", "client": client, "rt": response_time}
+            )
+
+    def service_batch(self, time: float, pid: int, size: int) -> None:
+        """The request batcher of process ``pid`` flushed a batch of ``size``."""
+        self.counters["service.batches"] += 1
+        self.observe("service.batch_size", size)
+        self._notify("service_batch", time, pid, size)
+        if self.record_events:
+            self.events.append(
+                {"t": time, "ev": "service_batch", "pid": pid, "size": size}
             )
 
     def sim_event(self, time: float, category: str) -> None:

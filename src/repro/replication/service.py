@@ -38,6 +38,10 @@ class ClientRequest:
         return self.first_reply_at - self.submitted_at
 
 
+#: Called when a submitted request gets its first reply.
+ReplyListener = Callable[[ClientRequest], None]
+
+
 class ReplicatedService:
     """Active replication of a state machine over atomic broadcast."""
 
@@ -57,6 +61,7 @@ class ReplicatedService:
             pid: [] for pid in range(system.config.n)
         }
         self.requests: Dict[BroadcastID, ClientRequest] = {}
+        self._reply_listeners: List[ReplyListener] = []
         self._wire()
 
     # ------------------------------------------------------------------ wiring
@@ -66,6 +71,15 @@ class ReplicatedService:
             self.system.abcast(pid).add_delivery_listener(
                 lambda bid, payload, _pid=pid: self._on_delivery(_pid, bid, payload)
             )
+
+    def add_reply_listener(self, listener: ReplyListener) -> None:
+        """Subscribe to first replies: ``listener(request)`` once per request.
+
+        The listener fires at the first A-delivery of the request anywhere
+        in the group (the client-perceived completion instant); the load
+        layer's closed-loop clients and admission window drain on it.
+        """
+        self._reply_listeners.append(listener)
 
     # ------------------------------------------------------------------ client API
 
@@ -84,6 +98,21 @@ class ReplicatedService:
         """Schedule a command submission at an absolute simulation time."""
         self.system.sim.schedule_at(time, self.submit, sender, command)
 
+    def read_local(self, pid: int, command: Command) -> Any:
+        """Serve a read from replica ``pid``'s local state, bypassing broadcast.
+
+        The weak-consistency read path (``consistency="local"`` in the load
+        subsystem): the reply reflects replica ``pid``'s applied prefix, so
+        it may be stale relative to the totally-ordered log -- the classic
+        latency-vs-consistency trade.  Only non-mutating operations are
+        allowed; the read is not appended to the replicated log.
+        """
+        if command.operation != "get":
+            raise ValueError(
+                f"only 'get' commands may be served locally, got {command.operation!r}"
+            )
+        return self.replicas[pid].apply(command)
+
     # ------------------------------------------------------------------ replica side
 
     def _on_delivery(self, pid: int, broadcast_id: BroadcastID, payload: Any) -> None:
@@ -96,6 +125,13 @@ class ReplicatedService:
         if request is not None and request.first_reply_at is None:
             request.first_reply_at = self.system.sim.now + self.processing_time
             request.reply = reply
+            obs = self.system.obs
+            if obs is not None:
+                obs.service_reply(
+                    self.system.sim.now, payload.client, request.response_time
+                )
+            for listener in list(self._reply_listeners):
+                listener(request)
 
     # ------------------------------------------------------------------ inspection
 

@@ -15,7 +15,10 @@ Beyond-paper scenarios unlocked by the declarative fault-schedule engine
 * :func:`run_churn_steady`     -- Poisson crash-recovery churn with rejoin,
 * :func:`run_asymmetric_qos`   -- one flaky failure detector pair,
 * :func:`run_view_majority_loss` -- the deterministic view-majority-loss
-  blocked state, measuring time-to-reformation under ``gm-reform``.
+  blocked state, measuring time-to-reformation under ``gm-reform``,
+* :func:`run_service_load`     -- the replicated KV service under an open-
+  or closed-loop client population with admission control and optional
+  request batching (:mod:`repro.load`).
 """
 
 from repro.scenarios.extended import (
@@ -39,6 +42,7 @@ from repro.scenarios.runner import (
     ScenarioRunner,
     SteadyStateSpec,
 )
+from repro.scenarios.service_load import run_service_load
 from repro.scenarios.steady import (
     run_crash_steady,
     run_normal_steady,
@@ -65,6 +69,7 @@ __all__ = [
     "run_crash_steady",
     "run_crash_transient",
     "run_normal_steady",
+    "run_service_load",
     "run_suspicion_steady",
     "run_view_majority_loss",
     "sweep_crash_transient",

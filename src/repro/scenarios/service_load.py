@@ -1,0 +1,168 @@
+"""The ``service-load`` scenario: load-test the replicated KV service.
+
+Where the steady-state scenarios measure A-broadcast latency of opaque
+messages, this scenario measures *service* behaviour: a client population
+(open- or closed-loop, :mod:`repro.load.clients`) submits KV commands to an
+admission-controlled :class:`repro.load.service.LoadTestedService`, and the
+measured quantity is the client-perceived response time -- queueing delay,
+batching delay and ordering latency included.
+
+The result reuses :class:`~repro.scenarios.results.ScenarioResult`:
+``latencies`` holds the response times of completed measured requests and
+``undelivered`` counts measured requests that were shed or never answered,
+so ``delivery_ratio`` reads as *goodput ratio* and a saturated operating
+point shows up exactly like a non-working one in the paper's figures.
+``params`` adds the service-level read-outs: admission outcome counts,
+goodput/offered rates and p50/p99/p999 response-time percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.load.clients import ClosedLoopClients, CommandMix, OpenLoopClients
+from repro.load.service import AdmissionConfig, LoadTestedService
+from repro.metrics.stats import interarrival_from_throughput, latency_percentiles
+from repro.obs import export as obs_export
+from repro.scenarios.faults import FaultSchedule
+from repro.scenarios.results import ScenarioResult
+from repro.scenarios.runner import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MESSAGES,
+    DEFAULT_WARMUP_FRACTION,
+)
+from repro.system import SystemConfig, build_system
+
+#: Default admission window / queue bound of the scenario.
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUE = 128
+
+
+def run_service_load(
+    config: SystemConfig,
+    offered_load: float,
+    clients: int = 0,
+    think_time: float = 0.0,
+    num_requests: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    consistency: str = "ordered",
+    arrival: str = "poisson",
+    mix: Optional[CommandMix] = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_queue: int = DEFAULT_MAX_QUEUE,
+    faults: Optional[FaultSchedule] = None,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Run one service-load operating point.
+
+    ``clients = 0`` (the default) runs an *open-loop* population arriving at
+    ``offered_load`` requests/s with the given ``arrival`` discipline;
+    ``clients > 0`` runs a *closed-loop* population of that many clients
+    with exponential ``think_time`` (ms), and ``offered_load`` is recorded
+    but does not drive generation.  Request batching and the failure
+    detector come from ``config`` (``max_batch`` / ``max_delay`` /
+    ``fd_scan_interval``), so a campaign sweeps them like any other system
+    dimension.
+    """
+    faults = faults if faults is not None else FaultSchedule()
+    system = build_system(config)
+    faults.apply_pre(system)
+
+    service = LoadTestedService(
+        system,
+        consistency=consistency,
+        admission=AdmissionConfig(max_inflight=max_inflight, max_queue=max_queue),
+    )
+
+    warmup_count = int(math.ceil(num_requests * warmup_fraction))
+    total = warmup_count + num_requests
+    outstanding = {"count": num_requests}
+
+    def on_complete(request) -> None:
+        if request.index >= warmup_count:
+            outstanding["count"] -= 1
+            if outstanding["count"] <= 0 and population.issued >= total:
+                system.sim.stop()
+
+    service.add_completion_listener(on_complete)
+
+    if clients > 0:
+        population = ClosedLoopClients(service, clients, think_time, mix=mix)
+        population.start(total)
+        if max_time is None:
+            # Serial worst case per client chain, with generous slack per
+            # round trip; closed loops self-throttle, so this rarely binds.
+            rounds = math.ceil(total / clients)
+            max_time = 20_000.0 + rounds * (think_time + 500.0)
+    else:
+        population = OpenLoopClients(
+            service, offered_load, num_clients=max(1, config.n), arrival=arrival, mix=mix
+        )
+        last_arrival = population.schedule_requests(total, start_time=0.0)
+        if max_time is None:
+            max_time = last_arrival + max(
+                20_000.0, 20 * interarrival_from_throughput(offered_load)
+            )
+
+    faults.schedule(system)
+    system.run(until=max_time, max_events=max_events)
+
+    measured = service.requests[warmup_count:]
+    latencies = [
+        request.response_time
+        for request in measured
+        if request.response_time is not None
+    ]
+    duration = system.sim.now
+    completed_total = sum(1 for r in service.requests if r.response_time is not None)
+
+    params: Dict[str, Any] = {
+        "clients": clients,
+        "think_time": think_time,
+        "consistency": consistency,
+        "arrival": arrival,
+        "max_inflight": max_inflight,
+        "max_queue": max_queue,
+        "max_batch": config.max_batch,
+        "max_delay": config.max_delay,
+        "outcomes": service.outcome_counts(),
+        "queue_depth_hwm": service.queue_depth_hwm,
+        "inflight_hwm": service.inflight_hwm,
+        # Rates over the whole run, in requests/s.
+        "offered_rate": 1000.0 * len(service.requests) / duration if duration else 0.0,
+        "goodput": 1000.0 * completed_total / duration if duration else 0.0,
+        "replicas_consistent": service.replicas_consistent(),
+        **latency_percentiles(latencies),
+    }
+    if system.sim.run_exhausted:
+        params["run_exhausted"] = True
+
+    metrics = None
+    if system.obs is not None:
+        metrics = obs_export.metrics_snapshot(
+            system, scenario="service-load", throughput=offered_load
+        )
+        obs_export.maybe_write_traces(
+            system,
+            f"service-load-{config.stack_label.replace('/', '-')}"
+            f"-n{config.n}-s{config.seed}-T{offered_load:g}",
+        )
+
+    return ScenarioResult(
+        scenario="service-load",
+        algorithm=config.stack_label,
+        n=config.n,
+        throughput=offered_load,
+        latencies=latencies,
+        undelivered=num_requests - len(latencies),
+        measured=num_requests,
+        duration=duration,
+        events=system.sim.events_processed,
+        params=params,
+        metrics=metrics,
+    )
+
+
+__all__ = ["DEFAULT_MAX_INFLIGHT", "DEFAULT_MAX_QUEUE", "run_service_load"]

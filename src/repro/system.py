@@ -117,6 +117,19 @@ class SystemConfig:
         never perturbs the run -- delivered sequences, latencies and event
         counts are bit-identical either way (golden-neutrality tests pin
         this).
+    max_batch:
+        ``0`` (the default) exposes each stack's atomic broadcast directly --
+        the pre-batching system, bit-identical to every golden baseline.  A
+        positive value wraps every process's abcast in a
+        :class:`repro.load.batching.BatchingAtomicBroadcast` that coalesces
+        up to ``max_batch`` client payloads into one inner A-broadcast,
+        amortizing the per-message dissemination and sequencing cost over
+        the batch.  Works uniformly for every registered stack (the wrapper
+        sits above the registry's layers).
+    max_delay:
+        Maximum time (ms) a pending payload may wait for its batch to fill
+        before the batcher flushes anyway (``max_batch > 0`` only).  ``0``
+        still coalesces payloads arriving at the same simulation instant.
     fd_scan_interval:
         ``None`` (the default) keeps the exact clock-driven failure detector
         semantics: every pair transition is its own simulator event, and all
@@ -150,6 +163,8 @@ class SystemConfig:
     pipeline_depth: int = 2
     instrument: bool = False
     fd_scan_interval: Optional[float] = None
+    max_batch: int = 0
+    max_delay: float = 0.0
 
     def __init__(
         self,
@@ -167,6 +182,8 @@ class SystemConfig:
         pipeline_depth: int = 2,
         instrument: bool = False,
         fd_scan_interval: Optional[float] = None,
+        max_batch: int = 0,
+        max_delay: float = 0.0,
         algorithm: Optional[str] = None,
     ) -> None:
         if algorithm is not None:
@@ -203,9 +220,15 @@ class SystemConfig:
             raise ValueError(
                 f"fd_scan_interval must be > 0 (or None), got {fd_scan_interval}"
             )
+        if max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0 (0 = batching off), got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0 ms, got {max_delay}")
         set_field(self, "pipeline_depth", pipeline_depth)
         set_field(self, "instrument", bool(instrument))
         set_field(self, "fd_scan_interval", fd_scan_interval)
+        set_field(self, "max_batch", int(max_batch))
+        set_field(self, "max_delay", float(max_delay))
 
     @property
     def algorithm(self) -> str:
@@ -273,7 +296,19 @@ class BroadcastSystem:
         broadcast, consensus, then the stack's layers -- is part of the
         stack contract: golden-value tests pin it down because it fixes the
         random-stream and listener-registration order of a run.
+
+        With ``max_batch > 0`` each process's abcast is additionally wrapped
+        in a request batcher (every registered stack gets it, with zero
+        per-stack code); with the default ``max_batch=0`` no wrapper exists
+        at all, keeping the off path architecturally identical to the
+        golden-pinned system.  The import is deferred: :mod:`repro.load`
+        builds on the replication service, which imports this module.
         """
+        wrap = None
+        if self.config.max_batch > 0:
+            from repro.load.batching import BatchingAtomicBroadcast
+
+            wrap = BatchingAtomicBroadcast
         for pid in range(self.config.n):
             process = SimProcess(self.sim, self.network, pid)
             process.failure_detector = self.fd_fabric.attach(process)
@@ -285,7 +320,12 @@ class BroadcastSystem:
             self.processes.append(process)
             self.rbcasts.append(rbcast)
             self.consensus_services.append(consensus)
-            self.abcasts.append(layers.abcast)
+            abcast = layers.abcast
+            if wrap is not None:
+                abcast = wrap(
+                    process, abcast, self.config.max_batch, self.config.max_delay
+                )
+            self.abcasts.append(abcast)
 
     # ------------------------------------------------------------------ instrumentation
 

@@ -8,7 +8,13 @@ import pytest
 
 import repro.campaigns.runner as runner_module
 from repro.campaigns.runner import CampaignRunner, execute_point
-from repro.campaigns.spec import PointSpec, grid
+from repro.campaigns.spec import (
+    CampaignSpec,
+    PointSpec,
+    SeriesPointSpec,
+    SeriesSpec,
+    grid,
+)
 from repro.campaigns.store import ResultStore
 
 
@@ -169,3 +175,36 @@ class TestCampaignRunner:
         result = run.result(point)
         assert result.scenario == "normal-steady"
         assert result.measured == 15
+
+
+class TestRunnerScanRewrite:
+    """CampaignRunner(fd_scan_interval=...) rewrites points like instrument."""
+
+    def test_points_rewritten_and_aliased(self):
+        campaign = CampaignSpec(name="scan")
+        point = PointSpec(kind="normal-steady", throughput=30.0, num_messages=10)
+        campaign.add_series(
+            SeriesSpec(label="fd", points=[SeriesPointSpec(x=30.0, points=[point])])
+        )
+        runner = CampaignRunner(fd_scan_interval=5.0)
+        run = runner.run(campaign)
+        executed_key = run.aliases[point.key()]
+        assert executed_key != point.key()
+        # Lookup by the declared point still works through the alias.
+        assert run.result(point).scenario == "normal-steady"
+
+    def test_heartbeat_points_not_rewritten(self):
+        campaign = CampaignSpec(name="scan-hb")
+        point = PointSpec(
+            kind="normal-steady", stack="fd", fd_kind="heartbeat",
+            throughput=30.0, num_messages=10,
+        )
+        campaign.add_series(
+            SeriesSpec(label="hb", points=[SeriesPointSpec(x=30.0, points=[point])])
+        )
+        run = CampaignRunner(fd_scan_interval=5.0).run(campaign)
+        assert point.key() not in run.aliases
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(fd_scan_interval=-1.0)

@@ -330,3 +330,85 @@ class TestReformationAndHeartbeatDimensions:
             kind="view-majority-loss", stack="gm-reform", reformation_timeout=800.0
         )
         assert "reform=800ms" in point.label()
+
+
+class TestServiceLoadDimensions:
+    """The v6 sweep dimensions: client population, batching, FD scan."""
+
+    def test_new_dimensions_enter_the_cache_key(self):
+        base = PointSpec(kind="service-load", stack="fd", throughput=200.0)
+        variants = [
+            PointSpec(kind="service-load", stack="fd", throughput=200.0, clients=8),
+            PointSpec(
+                kind="service-load", stack="fd", throughput=200.0, clients=8,
+                think_time=25.0,
+            ),
+            PointSpec(
+                kind="service-load", stack="fd", throughput=200.0, consistency="local"
+            ),
+            PointSpec(kind="service-load", stack="fd", throughput=200.0, max_batch=8),
+            PointSpec(
+                kind="service-load", stack="fd", throughput=200.0, max_batch=8,
+                max_delay=3.0,
+            ),
+            PointSpec(kind="normal-steady", stack="fd", fd_scan_interval=5.0),
+        ]
+        keys = {point.key() for point in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+        for point in [base] + variants:
+            for field in (
+                "clients", "think_time", "consistency",
+                "max_batch", "max_delay", "fd_scan_interval",
+            ):
+                assert field in point.as_dict()
+
+    def test_knobs_reach_the_system_config(self):
+        point = PointSpec(
+            kind="service-load", stack="gm", max_batch=4, max_delay=2.5,
+            fd_scan_interval=10.0,
+        )
+        config = point.config()
+        assert config.max_batch == 4
+        assert config.max_delay == 2.5
+        assert config.fd_scan_interval == 10.0
+
+    def test_zero_knobs_keep_defaults(self):
+        config = PointSpec(kind="service-load", stack="fd").config()
+        assert config.max_batch == 0
+        assert config.max_delay == 0.0
+        assert config.fd_scan_interval is None
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="clients"):
+            PointSpec(kind="service-load", clients=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            PointSpec(kind="service-load", max_batch=-1)
+        with pytest.raises(ValueError, match="consistency"):
+            PointSpec(kind="service-load", consistency="eventual")
+        for knob in ("think_time", "max_delay", "fd_scan_interval"):
+            with pytest.raises(ValueError, match=knob):
+                PointSpec(kind="service-load", **{knob: -1.0})
+
+    def test_grid_zeroes_the_scan_tick_for_heartbeat(self):
+        campaign = grid(
+            "normal-steady",
+            stacks=("gm",),
+            fd_kinds=("qos", "heartbeat"),
+            throughputs=(10.0,),
+            fd_scan_interval=5.0,
+        )
+        by_kind = {point.fd_kind: point for point in campaign.points()}
+        assert by_kind["qos"].fd_scan_interval == 5.0
+        assert by_kind["heartbeat"].fd_scan_interval == 0.0
+
+    def test_label_mentions_the_population(self):
+        open_loop = PointSpec(kind="service-load", stack="fd", max_batch=8)
+        assert "open-loop" in open_loop.label()
+        assert "batch=8" in open_loop.label()
+        closed = PointSpec(
+            kind="service-load", stack="fd", clients=16, think_time=50.0,
+            consistency="local",
+        )
+        assert "clients=16" in closed.label()
+        assert "local" in closed.label()
