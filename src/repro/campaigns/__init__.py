@@ -25,14 +25,25 @@ and accept a shared runner (``--jobs`` / ``--cache-dir``).
 """
 
 from repro.campaigns.aggregate import (
+    cross_campaign_summary,
     figure_from_campaign,
+    load_store_table,
     merge_scenario_results,
     merge_transient_results,
     run_campaign_figure,
     series_from_spec,
 )
+from repro.campaigns.catalog import CampaignCatalog, campaign_spec_hash, git_revision
+from repro.campaigns.columnar import ColumnarTable
+from repro.campaigns.pool import WarmPool
+from repro.campaigns.queue import QueueWorker, WorkQueue
 from repro.campaigns.records import record_to_result, result_to_record
-from repro.campaigns.runner import CampaignRun, CampaignRunner, execute_point
+from repro.campaigns.runner import (
+    CampaignRun,
+    CampaignRunner,
+    execute_chunk,
+    execute_point,
+)
 from repro.campaigns.spec import (
     SCENARIO_KINDS,
     CampaignSpec,
@@ -48,18 +59,28 @@ from repro.campaigns.store import ResultStore
 
 __all__ = [
     "SCENARIO_KINDS",
+    "CampaignCatalog",
     "CampaignRun",
     "CampaignRunner",
     "CampaignSpec",
+    "ColumnarTable",
     "PointSpec",
+    "QueueWorker",
     "ResultStore",
     "SeriesPointSpec",
     "SeriesSpec",
+    "WarmPool",
+    "WorkQueue",
+    "campaign_spec_hash",
     "crashed_processes",
+    "cross_campaign_summary",
     "derive_seed",
+    "execute_chunk",
     "execute_point",
     "figure_from_campaign",
+    "git_revision",
     "grid",
+    "load_store_table",
     "merge_scenario_results",
     "merge_transient_results",
     "record_to_result",

@@ -50,7 +50,21 @@ comparisons sweep.  ``--algorithms`` is a deprecated alias of ``--stack``.
 
 Every completed point is cached under ``--cache-dir`` (when given), so
 re-running the same grid -- or a larger grid that contains it -- only
-simulates the missing points.
+simulates the missing points.  ``--durability batch`` trades the default
+per-point fsync for buffered flushes (throughput on many-small-point
+grids); ``--force`` / ``--force-kind KIND`` re-execute matching points past
+the cache and rewrite their records (other stored results are untouched).
+
+``--queue-dir DIR`` distributes the grid through a shared-directory work
+queue: the submitting process enqueues the missing points and works them
+alongside any number of extra workers started on other machines (or other
+terminals) with::
+
+    python -m repro.campaigns --queue-worker --queue-dir DIR
+
+``--catalog DIR`` records the finished campaign in a catalog of named
+stored campaigns (``<DIR>/<name>/summary.json``: spec hash, schema version,
+git revision, wall clock).
 """
 
 from __future__ import annotations
@@ -61,9 +75,11 @@ import time
 from typing import List
 
 from repro.campaigns.aggregate import merge_scenario_results, merge_transient_results
+from repro.campaigns.catalog import CampaignCatalog
+from repro.campaigns.queue import QueueWorker, WorkQueue
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import SCENARIO_KINDS, grid
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import DURABILITY_MODES, ResultStore
 from repro.scenarios.results import TransientResult
 
 #: Shorthands accepted by ``--scenario`` in addition to the canonical kinds.
@@ -232,6 +248,64 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None, help="JSONL result cache directory")
     parser.add_argument(
+        "--durability",
+        choices=DURABILITY_MODES,
+        default="fsync",
+        help=(
+            "cache write durability: fsync every point (default, resumable "
+            "to the last point) or batch buffered flushes (throughput)"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute every point past the cache, rewriting its record",
+    )
+    parser.add_argument(
+        "--force-kind",
+        dest="force_kinds",
+        action="append",
+        default=None,
+        metavar="KIND",
+        choices=sorted(SCENARIO_KINDS),
+        help="re-execute cached points of this scenario kind only (repeatable)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="points per worker round-trip (0 = sized automatically)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="distribute the grid through a shared-directory work queue",
+    )
+    parser.add_argument(
+        "--queue-worker",
+        action="store_true",
+        help="act as a fleet worker: drain --queue-dir and exit (no grid needed)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=300.0,
+        help="seconds before a crashed worker's queue lease is reclaimed",
+    )
+    parser.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=0.0,
+        help="give up waiting for outstanding queue results after this many seconds (0 = wait)",
+    )
+    parser.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="record the finished campaign in this catalog directory",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="DIR",
@@ -248,6 +322,19 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("-o", "--output", default=None, help="write the report to a file")
     args = parser.parse_args(argv)
+
+    if args.queue_worker:
+        if not args.queue_dir:
+            parser.error("--queue-worker needs --queue-dir")
+        worker = QueueWorker(
+            WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl), trace_dir=args.trace
+        )
+        executed = worker.run()
+        print(
+            f"queue worker {worker.worker_id}: executed {executed} point(s) "
+            f"from {args.queue_dir}"
+        )
+        return 0
 
     if args.stacks is not None and args.algorithms is not None:
         parser.error("--algorithms is a deprecated alias of --stack; pass only one")
@@ -284,16 +371,43 @@ def main(argv: List[str] = None) -> int:
         fd_scan_interval=args.fd_scan_interval,
     )
 
-    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    store = (
+        ResultStore(args.cache_dir, durability=args.durability)
+        if args.cache_dir
+        else None
+    )
     runner = CampaignRunner(
         jobs=args.jobs,
         store=store,
         instrument=args.metrics_out is not None,
         trace_dir=args.trace,
+        chunk_size=args.chunk_size,
+        force=args.force,
+        force_kinds=tuple(args.force_kinds or ()),
+        queue=(
+            WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+            if args.queue_dir
+            else None
+        ),
+        queue_timeout=args.queue_timeout or None,
     )
     started = time.time()
-    run = runner.run(campaign)
+    try:
+        run = runner.run(campaign)
+    finally:
+        runner.close()
     elapsed = time.time() - started
+
+    if args.catalog:
+        CampaignCatalog(args.catalog).record_run(
+            campaign,
+            run,
+            wall_clock_s=elapsed,
+            store_path=store.path if store is not None else None,
+        )
+    if store is not None:
+        # Flushes buffered lines and refreshes the columnar mirror.
+        store.close()
 
     total = run.executed + run.cache_hits
     lines: List[str] = [

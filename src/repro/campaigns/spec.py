@@ -18,7 +18,7 @@ import json
 import math
 import warnings
 import zlib
-from dataclasses import InitVar, dataclass, field
+from dataclasses import InitVar, dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import __version__
@@ -374,6 +374,44 @@ class PointSpec:
             },
             "instrument": bool(self.instrument),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PointSpec":
+        """Rebuild a point from its :meth:`as_dict` form.
+
+        The inverse of the canonical serialisation: ``"inf"`` strings become
+        floats again, lists become tuples and the override mapping becomes
+        the tuple-of-pairs field (sorted, matching the canonical JSON).  The
+        round-trip preserves :meth:`key`, which is what lets a point travel
+        through the work queue (:mod:`repro.campaigns.queue`) and commit its
+        result under the same cache key the submitting machine computed.
+        Unknown keys (from a newer schema) are rejected rather than dropped.
+        """
+
+        def value_of(raw: Any) -> Any:
+            if raw == "inf":
+                return INFINITY
+            if raw == "-inf":
+                return -INFINITY
+            return raw
+
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown PointSpec fields {sorted(unknown)}")
+        kwargs = {
+            key: value_of(raw)
+            for key, raw in data.items()
+            if key not in ("crashed", "config_overrides")
+        }
+        kwargs["crashed"] = tuple(int(pid) for pid in data.get("crashed", ()))
+        kwargs["config_overrides"] = tuple(
+            sorted(
+                (name, value_of(raw))
+                for name, raw in data.get("config_overrides", {}).items()
+            )
+        )
+        return cls(**kwargs)
 
     def key(self) -> str:
         """Stable content hash of the point (the result-cache key).

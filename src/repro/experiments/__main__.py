@@ -42,8 +42,10 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.campaigns.catalog import CampaignCatalog
 from repro.campaigns.runner import CampaignRunner
-from repro.campaigns.store import ResultStore
+from repro.campaigns.spec import SCENARIO_KINDS
+from repro.campaigns.store import DURABILITY_MODES, ResultStore
 from repro.experiments import figure4, figure5, figure6, figure7, figure8
 from repro.experiments.report import format_figure, format_markdown_table
 from repro.experiments.shape_checks import ALL_CHECKS
@@ -92,6 +94,35 @@ def main(argv: List[str] = None) -> int:
         help="cache completed points in DIR/results.jsonl (resumable sweeps)",
     )
     parser.add_argument(
+        "--durability",
+        choices=DURABILITY_MODES,
+        default="fsync",
+        help=(
+            "cache write durability: fsync every point (default) or batch "
+            "buffered flushes (throughput on many-small-point grids)"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-simulate every point past the cache, rewriting its record",
+    )
+    parser.add_argument(
+        "--force-kind",
+        dest="force_kinds",
+        action="append",
+        default=None,
+        metavar="KIND",
+        choices=sorted(SCENARIO_KINDS),
+        help="re-simulate cached points of this scenario kind only (repeatable)",
+    )
+    parser.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="record each regenerated figure campaign in this catalog directory",
+    )
+    parser.add_argument(
         "--fd-scan-interval",
         type=float,
         default=0.0,
@@ -120,43 +151,65 @@ def main(argv: List[str] = None) -> int:
     quick = not args.full
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
-    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    store = (
+        ResultStore(args.cache_dir, durability=args.durability)
+        if args.cache_dir
+        else None
+    )
     runner = CampaignRunner(
         jobs=args.jobs,
         store=store,
         instrument=args.metrics_out is not None,
         trace_dir=args.trace,
         fd_scan_interval=args.fd_scan_interval,
+        force=args.force,
+        force_kinds=tuple(args.force_kinds or ()),
     )
+    catalog = CampaignCatalog(args.catalog) if args.catalog else None
 
     sections: List[str] = []
-    for name in names:
-        started = time.time()
-        result = FIGURES[name](
-            quick=quick, seed=args.seed, replicas=args.replicas, runner=runner
-        )
-        elapsed = time.time() - started
-        renderer = format_markdown_table if args.markdown else format_figure
-        sections.append(renderer(result))
-        stats = ""
-        if runner.last_run is not None:
-            stats = (
-                f"; {runner.last_run.executed} points simulated, "
-                f"{runner.last_run.cache_hits} from cache"
+    try:
+        for name in names:
+            started = time.time()
+            result = FIGURES[name](
+                quick=quick, seed=args.seed, replicas=args.replicas, runner=runner
             )
-        sections.append(f"(figure {name} regenerated in {elapsed:.1f} s{stats})")
-        if args.metrics_out and runner.last_run is not None:
-            from repro.obs.export import export_metrics_records
+            elapsed = time.time() - started
+            renderer = format_markdown_table if args.markdown else format_figure
+            sections.append(renderer(result))
+            stats = ""
+            if runner.last_run is not None:
+                stats = (
+                    f"; {runner.last_run.executed} points simulated, "
+                    f"{runner.last_run.cache_hits} from cache"
+                )
+            sections.append(f"(figure {name} regenerated in {elapsed:.1f} s{stats})")
+            if catalog is not None and runner.last_run is not None:
+                catalog.record_run(
+                    runner.last_run.campaign,
+                    runner.last_run,
+                    wall_clock_s=elapsed,
+                    name=f"figure{name}-{'quick' if quick else 'full'}",
+                    store_path=store.path if store is not None else None,
+                )
+            if args.metrics_out and runner.last_run is not None:
+                from repro.obs.export import export_metrics_records
 
-            written = export_metrics_records(runner.last_run.records, args.metrics_out)
-            sections.append(
-                f"  wrote {written} metrics snapshots to {args.metrics_out}"
-            )
-        if args.check:
-            checks: Dict[str, bool] = ALL_CHECKS[name](result)
-            for key, ok in sorted(checks.items()):
-                sections.append(f"  check {key}: {'PASS' if ok else 'FAIL'}")
-        sections.append("")
+                written = export_metrics_records(runner.last_run.records, args.metrics_out)
+                sections.append(
+                    f"  wrote {written} metrics snapshots to {args.metrics_out}"
+                )
+            if args.check:
+                checks: Dict[str, bool] = ALL_CHECKS[name](result)
+                for key, ok in sorted(checks.items()):
+                    sections.append(f"  check {key}: {'PASS' if ok else 'FAIL'}")
+            sections.append("")
+    finally:
+        # The warm pool spans every figure of the invocation; closing the
+        # store flushes buffered lines and refreshes the columnar mirror.
+        runner.close()
+        if store is not None:
+            store.close()
 
     report = "\n".join(sections)
     if args.output:

@@ -177,6 +177,83 @@ class TestCampaignRunner:
         assert result.measured == 15
 
 
+class TestChunkedDispatch:
+    def test_rejects_negative_chunking_knobs(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(chunk_size=-1)
+        with pytest.raises(ValueError):
+            CampaignRunner(max_inflight=-1)
+
+    def test_explicit_chunk_size_matches_serial(self):
+        campaign = tiny_campaign(throughputs=(20.0, 40.0, 60.0))
+        serial = CampaignRunner(jobs=1).run(campaign)
+        with CampaignRunner(jobs=2, chunk_size=2, max_inflight=1) as chunked:
+            assert chunked.run(campaign).records == serial.records
+
+    def test_execute_chunk_matches_per_point_execution(self):
+        points = tiny_campaign().points()
+        assert runner_module.execute_chunk(points) == [
+            execute_point(point) for point in points
+        ]
+
+    def test_warm_pool_survives_across_runs(self):
+        with CampaignRunner(jobs=2) as runner:
+            runner.run(tiny_campaign(throughputs=(20.0, 40.0)))
+            assert runner.pool.started
+            first_checkouts = runner.pool.checkouts
+            runner.run(tiny_campaign(throughputs=(25.0, 45.0)))
+            # Same pool object handed out again, not a respun executor.
+            assert runner.pool.checkouts == first_checkouts + 1
+            assert runner.pool.started
+        assert not runner.pool.started  # context exit released the workers
+
+    def test_serial_runner_never_starts_a_pool(self):
+        runner = CampaignRunner(jobs=1)
+        runner.run(tiny_campaign())
+        assert runner._pool is None
+
+    def test_close_is_idempotent(self):
+        runner = CampaignRunner(jobs=2)
+        runner.run(tiny_campaign())
+        runner.close()
+        runner.close()
+
+
+class TestForcedReexecution:
+    def test_rejects_unknown_force_kind(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(force_kinds=("no-such-scenario",))
+
+    def test_force_bypasses_cache_and_rewrites_store(self, tmp_path):
+        campaign = tiny_campaign()
+        store_dir = str(tmp_path)
+        cold = CampaignRunner(jobs=1, store=ResultStore(store_dir)).run(campaign)
+
+        forced_store = ResultStore(store_dir)
+        forced = CampaignRunner(jobs=1, store=forced_store, force=True).run(campaign)
+        assert (forced.executed, forced.cache_hits) == (2, 0)
+        assert forced.records == cold.records  # deterministic rewrite
+        # The rewrite landed in the store (one duplicate line per point).
+        assert forced_store._dupes == 2
+
+    def test_force_kind_only_reexecutes_matching_points(self, tmp_path):
+        store_dir = str(tmp_path)
+        normal = tiny_campaign(throughputs=(20.0,))
+        transient = grid("crash-transient", stacks=("fd",), throughputs=(30.0,), num_runs=2)
+        CampaignRunner(jobs=1, store=ResultStore(store_dir)).run(normal)
+        CampaignRunner(jobs=1, store=ResultStore(store_dir)).run(transient)
+
+        runner = CampaignRunner(
+            jobs=1,
+            store=ResultStore(store_dir),
+            force_kinds=("crash-transient",),
+        )
+        warm_normal = runner.run(normal)
+        assert (warm_normal.executed, warm_normal.cache_hits) == (0, 1)
+        forced_transient = runner.run(transient)
+        assert (forced_transient.executed, forced_transient.cache_hits) == (1, 0)
+
+
 class TestRunnerScanRewrite:
     """CampaignRunner(fd_scan_interval=...) rewrites points like instrument."""
 
