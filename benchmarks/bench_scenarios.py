@@ -1,6 +1,7 @@
 """Scenario-engine throughput benchmark: simulator events/sec per scenario.
 
-Runs a fixed grid of all eight scenario kinds through the shared
+Runs a fixed grid of scenario kinds (including the fault-injection
+scenarios: transient partitions, WAN topologies, gray failures) through the shared
 :class:`repro.scenarios.runner.ScenarioRunner` and reports how many simulated
 events per wall-clock second the hot path sustains.  CI runs it in smoke mode
 (``REPRO_BENCH_SMOKE=1``, tiny workloads) on every PR so that performance
@@ -23,7 +24,10 @@ from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_gray_degradation,
+    run_partition_transient,
     run_view_majority_loss,
+    run_wan_steady,
 )
 from repro.scenarios.steady import (
     run_crash_steady,
@@ -103,6 +107,34 @@ def scenario_grid() -> List[Tuple[str, Callable[[str], object]]]:
                 cfg("gm-reform" if a == "gm" else a),
                 THROUGHPUT,
                 detection_time=10.0,
+                num_messages=MESSAGES,
+            ),
+        ),
+        (
+            "partition-transient",
+            # Same stack mapping: healing a minority split exercises the
+            # reformation path, which plain GM cannot complete.
+            lambda a: run_partition_transient(
+                cfg("gm-reform" if a == "gm" else a),
+                THROUGHPUT,
+                partition_duration=500.0,
+                detection_time=10.0,
+                num_messages=MESSAGES,
+            ),
+        ),
+        (
+            "wan-steady",
+            lambda a: run_wan_steady(
+                cfg(a), THROUGHPUT, profile="wan-3dc", num_messages=MESSAGES
+            ),
+        ),
+        (
+            "gray-degradation",
+            lambda a: run_gray_degradation(
+                cfg(a),
+                THROUGHPUT,
+                degrade_factor=4.0,
+                link_loss=0.1,
                 num_messages=MESSAGES,
             ),
         ),

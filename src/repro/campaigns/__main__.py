@@ -14,13 +14,15 @@ Examples::
     python -m repro.campaigns --scenario churn-steady --stack fd --fd heartbeat \\
         --detection-time 10 --cache-dir .campaign-cache
 
-Nine scenario kinds are available: the paper's four (``normal-steady``,
+Twelve scenario kinds are available: the paper's four (``normal-steady``,
 ``crash-steady``, ``suspicion-steady``, ``crash-transient``), the
 beyond-paper fault-schedule scenarios (``correlated-crash``,
-``churn-steady``, ``asymmetric-qos``, ``view-majority-loss``) and the
-replicated-KV load test (``service-load``); ``churn`` / ``correlated`` /
-``asymmetric`` / ``normal`` / ``majority-loss`` / ``service`` are accepted
-shorthands.  ``view-majority-loss`` drives the GM stacks into the
+``churn-steady``, ``asymmetric-qos``, ``view-majority-loss``), the
+replicated-KV load test (``service-load``) and the network fault-injection
+scenarios (``partition-transient``, ``wan-steady``, ``gray-degradation``);
+``churn`` / ``correlated`` / ``asymmetric`` / ``normal`` /
+``majority-loss`` / ``service`` / ``partition`` / ``wan`` / ``gray`` are
+accepted shorthands.  ``view-majority-loss`` drives the GM stacks into the
 documented view-majority-loss deadlock and measures time-to-reformation
 under ``gm-reform`` (``--reformation-timeout`` sweeps the trigger window)::
 
@@ -37,6 +39,20 @@ sweep request batching and the read path::
 
     python -m repro.campaigns --scenario service-load --stack fd gm \\
         --throughputs 200 1000 4000 --max-batch 8
+
+The fault-injection kinds reuse ``--crash-time`` as the inject instant
+(0 = mid-window) and add their own axes: ``--fault-duration`` (partition /
+degradation window length), ``--wan-profile`` (a registered WAN topology,
+``wan-3dc`` / ``wan-5dc``), ``--degrade-factor`` and ``--link-loss`` (gray
+failures; ``--crashed-process`` selects the degraded pid)::
+
+    python -m repro.campaigns --scenario partition --stack gm gm-reform \\
+        --fault-duration 2000 --detection-time 10
+
+    python -m repro.campaigns --scenario wan --wan-profile wan-5dc --n 5
+
+    python -m repro.campaigns --scenario gray --degrade-factor 8 \\
+        --link-loss 0.05 --detection-time 10
 
 ``--max-batch`` / ``--max-delay`` (request batching) and
 ``--fd-scan-interval`` (the batched failure-detector scan) are
@@ -93,6 +109,9 @@ SCENARIO_ALIASES = {
     "asymmetric": "asymmetric-qos",
     "majority-loss": "view-majority-loss",
     "service": "service-load",
+    "partition": "partition-transient",
+    "wan": "wan-steady",
+    "gray": "gray-degradation",
 }
 
 
@@ -158,13 +177,19 @@ def main(argv: List[str] = None) -> int:
         "--detection-time", type=float, default=0.0, help="T_D in ms (crash-transient)"
     )
     parser.add_argument(
-        "--crashed-process", type=int, default=0, help="crashed pid (crash-transient)"
+        "--crashed-process",
+        type=int,
+        default=0,
+        help="crashed pid (crash-transient); degraded pid (gray-degradation)",
     )
     parser.add_argument(
         "--crash-time",
         type=float,
         default=0.0,
-        help="correlated crash instant in ms, 0 = mid-window (correlated-crash)",
+        help=(
+            "fault inject instant in ms, 0 = mid-window (correlated-crash, "
+            "partition-transient, gray-degradation)"
+        ),
     )
     parser.add_argument(
         "--churn-rate",
@@ -243,6 +268,32 @@ def main(argv: List[str] = None) -> int:
         type=float,
         default=0.0,
         help="batched FD scan tick in ms, 0 = exact per-pair events (any scenario)",
+    )
+    parser.add_argument(
+        "--fault-duration",
+        type=float,
+        default=0.0,
+        help=(
+            "fault window length in ms, 0 = scenario default "
+            "(partition-transient, gray-degradation)"
+        ),
+    )
+    parser.add_argument(
+        "--wan-profile",
+        default="wan-3dc",
+        help="registered WAN topology name (wan-steady)",
+    )
+    parser.add_argument(
+        "--degrade-factor",
+        type=float,
+        default=0.0,
+        help="CPU slowdown multiplier, 0 = scenario default (gray-degradation)",
+    )
+    parser.add_argument(
+        "--link-loss",
+        type=float,
+        default=0.0,
+        help="frame loss probability on the degraded pid's links (gray-degradation)",
     )
     parser.add_argument("--name", default="adhoc", help="campaign name")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
@@ -369,6 +420,10 @@ def main(argv: List[str] = None) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         fd_scan_interval=args.fd_scan_interval,
+        fault_duration=args.fault_duration,
+        wan_profile=args.wan_profile,
+        degrade_factor=args.degrade_factor,
+        link_loss=args.link_loss,
     )
 
     store = (

@@ -24,7 +24,10 @@ from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_gray_degradation,
+    run_partition_transient,
     run_view_majority_loss,
+    run_wan_steady,
 )
 from repro.scenarios.service_load import run_service_load
 from repro.scenarios.steady import (
@@ -119,6 +122,47 @@ def execute_point(point: PointSpec, trace_dir: Optional[str] = None) -> Dict[str
             mistake_duration=point.mistake_duration,
             flaky_monitor=point.flaky_monitor,
             flaky_target=point.flaky_target,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "partition-transient":
+        result = run_partition_transient(
+            config,
+            point.throughput,
+            partition_start=point.crash_time if point.crash_time > 0 else None,
+            **(
+                {"partition_duration": point.fault_duration}
+                if point.fault_duration > 0
+                else {}
+            ),
+            detection_time=point.detection_time,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "wan-steady":
+        result = run_wan_steady(
+            config,
+            point.throughput,
+            profile=point.wan_profile,
+            detection_time=point.detection_time,
+            num_messages=point.num_messages,
+        )
+    elif point.kind == "gray-degradation":
+        result = run_gray_degradation(
+            config,
+            point.throughput,
+            degraded_pid=point.crashed_process,
+            **(
+                {"degrade_factor": point.degrade_factor}
+                if point.degrade_factor > 0
+                else {}
+            ),
+            degrade_start=point.crash_time if point.crash_time > 0 else None,
+            **(
+                {"degrade_duration": point.fault_duration}
+                if point.fault_duration > 0
+                else {}
+            ),
+            link_loss=point.link_loss,
+            detection_time=point.detection_time,
             num_messages=point.num_messages,
         )
     else:  # pragma: no cover - PointSpec validates the kind

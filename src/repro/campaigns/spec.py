@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro import __version__
 from repro.failure_detectors.heartbeat import HeartbeatConfig
 from repro.scenarios.faults import VML_SUSPECT_DURATION, VML_SUSPECT_START
+from repro.sim.wan import wan_profile as wan_registry_lookup
 from repro.stacks import registry as stack_registry
 from repro.system import SystemConfig
 
@@ -39,6 +40,9 @@ SCENARIO_KINDS = (
     "asymmetric-qos",
     "view-majority-loss",
     "service-load",
+    "partition-transient",
+    "wan-steady",
+    "gray-degradation",
 )
 
 #: Bump when the meaning of a point's fields changes, to invalidate caches.
@@ -69,7 +73,17 @@ SCENARIO_KINDS = (
 #: scan), so every point's canonical dict changed again.  Migration as
 #: before: version-prefixed keys never collide, so old v5 caches are simply
 #: never hit again; delete them or leave them in place and re-simulate.
-SCHEMA_VERSION = 6
+#: v7: the network fault-injection layer -- three kinds were added
+#: (``partition-transient`` / ``wan-steady`` / ``gray-degradation``) and
+#: four sweep dimensions with them (``fault_duration`` for the partition /
+#: degradation window, ``wan_profile`` naming a registered
+#: :class:`repro.sim.wan.WanProfile`, ``degrade_factor`` and ``link_loss``
+#: for gray failures); ``crash_time`` doubles as the fault inject instant
+#: and ``crashed_process`` as the gray-degraded pid for the new kinds.
+#: Every point's canonical dict changed again; migration as before: old v6
+#: caches are simply never hit (version-prefixed keys cannot collide) --
+#: delete them or leave them in place and re-simulate.
+SCHEMA_VERSION = 7
 
 INFINITY = float("inf")
 
@@ -202,6 +216,19 @@ class PointSpec:
     #: Batched failure-detector scan tick, ms; 0 keeps the exact per-pair
     #: event semantics (any kind; ignored by ``fd_kind="heartbeat"``).
     fd_scan_interval: float = 0.0
+    #: Fault window length, ms (partition-transient and gray-degradation);
+    #: 0 picks the scenario default.  ``crash_time`` doubles as the inject
+    #: instant for these kinds (0 = the middle of the arrival window).
+    fault_duration: float = 0.0
+    #: Registered WAN profile name (wan-steady only; "" elsewhere).
+    wan_profile: str = ""
+    #: CPU service-time multiplier of the gray-degraded process
+    #: (gray-degradation only; 0 picks the scenario default).  The victim
+    #: pid is ``crashed_process``, reusing the crash-transient dimension.
+    degrade_factor: float = 0.0
+    #: Per-frame loss probability on the degraded process's outgoing links
+    #: during the window (gray-degradation only).
+    link_loss: float = 0.0
     #: Extra ``SystemConfig`` fields, e.g. ``(("lambda_cpu", 2.0),)``.
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     #: Run the point instrumented (:mod:`repro.obs`): the record gains a
@@ -258,10 +285,10 @@ class PointSpec:
         if self.kind == "churn-steady" and (self.churn_rate <= 0 or self.mean_downtime <= 0):
             raise ValueError("churn-steady points need churn_rate > 0 and mean_downtime > 0")
         if self.kind == "view-majority-loss":
-            if self.n < 3 or self.n % 2 == 0:
+            if self.n < 3:
                 raise ValueError(
-                    "view-majority-loss points need an odd group size n >= 3 "
-                    "(the single-window blocked-state construction)"
+                    "view-majority-loss points need a group size n >= 3 "
+                    "(even sizes use the staged two-window construction)"
                 )
             # The campaign path always uses the canonical suspicion window,
             # so an out-of-window crash_time (which could never block the
@@ -301,6 +328,34 @@ class PointSpec:
                     raise ValueError(
                         f"flaky pair process {pid} out of range 0..{self.n - 1}"
                     )
+        if self.fault_duration < 0:
+            raise ValueError(
+                f"fault_duration must be >= 0 (0 = default), got {self.fault_duration}"
+            )
+        if not 0.0 <= self.link_loss < 1.0:
+            raise ValueError(f"link_loss must be in [0, 1), got {self.link_loss}")
+        if self.kind == "partition-transient" and self.n < 3:
+            raise ValueError("partition-transient points need n >= 3 (a real minority)")
+        if self.kind == "wan-steady":
+            if not self.wan_profile:
+                raise ValueError("wan-steady points need a wan_profile name")
+            # Fail on unknown profiles at declaration time, not mid-campaign
+            # in a worker.
+            wan_registry_lookup(self.wan_profile)
+        elif self.wan_profile:
+            raise ValueError(
+                f"wan_profile only applies to wan-steady points, got kind={self.kind!r}"
+            )
+        if self.kind == "gray-degradation":
+            if self.degrade_factor != 0.0 and self.degrade_factor <= 1.0:
+                raise ValueError(
+                    "gray-degradation needs degrade_factor > 1 (0 = default), "
+                    f"got {self.degrade_factor}"
+                )
+            if not 0 <= self.crashed_process < self.n:
+                raise ValueError(
+                    f"degraded pid {self.crashed_process} out of range 0..{self.n - 1}"
+                )
 
     def config(self) -> SystemConfig:
         """The ``SystemConfig`` this point simulates."""
@@ -369,6 +424,10 @@ class PointSpec:
             "max_batch": int(self.max_batch),
             "max_delay": _json_number(self.max_delay),
             "fd_scan_interval": _json_number(self.fd_scan_interval),
+            "fault_duration": _json_number(self.fault_duration),
+            "wan_profile": self.wan_profile,
+            "degrade_factor": _json_number(self.degrade_factor),
+            "link_loss": _json_number(self.link_loss),
             "config_overrides": {
                 name: _json_number(value) for name, value in self.config_overrides
             },
@@ -469,6 +528,24 @@ class PointSpec:
                 + (f" batch={self.max_batch}" if self.max_batch > 0 else "")
                 + (f" {self.consistency}" if self.consistency != "ordered" else "")
             ),
+            "partition-transient": (
+                f" T_D={self.detection_time:g}"
+                + (
+                    f" window={self.fault_duration:g}ms"
+                    if self.fault_duration > 0
+                    else ""
+                )
+            ),
+            "wan-steady": f" profile={self.wan_profile}",
+            "gray-degradation": (
+                f" slow=p{self.crashed_process}"
+                + (
+                    f" x{self.degrade_factor:g}"
+                    if self.degrade_factor > 0
+                    else ""
+                )
+                + (f" loss={self.link_loss:g}" if self.link_loss > 0 else "")
+            ),
         }[self.kind]
         stack = self.stack if self.fd_kind == "qos" else f"{self.stack}/{self.fd_kind}"
         return (
@@ -562,6 +639,10 @@ def grid(
     max_batch: int = 0,
     max_delay: float = 0.0,
     fd_scan_interval: float = 0.0,
+    fault_duration: float = 0.0,
+    wan_profile: str = "wan-3dc",
+    degrade_factor: float = 0.0,
+    link_loss: float = 0.0,
     config_overrides: Iterable[Tuple[str, Any]] = (),
     description: str = "",
 ) -> CampaignSpec:
@@ -652,16 +733,26 @@ def grid(
                                         "correlated-crash",
                                         "churn-steady",
                                         "view-majority-loss",
+                                        "partition-transient",
+                                        "gray-degradation",
                                     )
                                     else 0.0
                                 ),
                                 crashed_process=(
-                                    crashed_process if kind == "crash-transient" else 0
+                                    crashed_process
+                                    if kind in ("crash-transient", "gray-degradation")
+                                    else 0
                                 ),
                                 sender=(sender if kind == "crash-transient" else None),
                                 crash_time=(
                                     crash_time
-                                    if kind in ("correlated-crash", "view-majority-loss")
+                                    if kind
+                                    in (
+                                        "correlated-crash",
+                                        "view-majority-loss",
+                                        "partition-transient",
+                                        "gray-degradation",
+                                    )
                                     else 0.0
                                 ),
                                 churn_rate=(
@@ -708,6 +799,21 @@ def grid(
                                     # sweeps don't mint distinct cache keys
                                     # for identical heartbeat runs.
                                     0.0 if fd_kind == "heartbeat" else fd_scan_interval
+                                ),
+                                fault_duration=(
+                                    fault_duration
+                                    if kind
+                                    in ("partition-transient", "gray-degradation")
+                                    else 0.0
+                                ),
+                                wan_profile=(
+                                    wan_profile if kind == "wan-steady" else ""
+                                ),
+                                degrade_factor=(
+                                    degrade_factor if kind == "gray-degradation" else 0.0
+                                ),
+                                link_loss=(
+                                    link_loss if kind == "gray-degradation" else 0.0
                                 ),
                                 config_overrides=overrides,
                             )

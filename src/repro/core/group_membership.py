@@ -119,6 +119,7 @@ class GroupMembership(Component):
         initial_members: Optional[Sequence[int]] = None,
         join_retry_interval: float = 500.0,
         reformation_timeout: Optional[float] = None,
+        view_change_revive_after: float = 50.0,
     ) -> None:
         super().__init__(process)
         self.consensus = consensus
@@ -133,6 +134,14 @@ class GroupMembership(Component):
         #: group reformation over the full static process set; ``None``
         #: disables the reformation path entirely (the paper's protocol).
         self.reformation_timeout = reformation_timeout
+        #: How long a view change must have been stalled before a trust
+        #: transition of a silent co-member triggers a re-announcement
+        #: (see :meth:`_on_suspicion_change`).  Well above any healthy
+        #: view change's completion time, well below any partition worth
+        #: surviving; partitions shorter than this (but longer than the
+        #: detection time) can still strand a plain-``gm`` minority -- the
+        #: reformation timer covers that window under ``gm-reform``.
+        self.view_change_revive_after = view_change_revive_after
 
         self._handler = None  # the atomic broadcast layer (set by set_broadcast_handler)
         self._view_listeners: List[ViewListener] = []
@@ -143,6 +152,7 @@ class GroupMembership(Component):
         self._proposed = False
         self._syncs: Dict[int, Tuple] = {}
         self._joiners_seen: Set[int] = set()
+        self._vc_started_at = 0.0
         #: Whether this process is reconciling after a crash recovery: it
         #: participates in view changes but must re-enter the decided view
         #: through a state transfer instead of installing it directly.
@@ -227,13 +237,14 @@ class GroupMembership(Component):
         """Reconcile with the group after a crash recovery.
 
         Still-a-member: start (or restart) a view change in the current view
-        and take part in it normally.  This is sound because nothing the
-        process missed can be *stable*: stability requires its own
-        acknowledgement, so every message delivered while it was down is
-        still in the other members' unstable sets and reaches it through the
-        view-synchrony union (the broadcast layer additionally replays its
-        own acknowledged-but-undelivered batches, see
-        ``SequencerAtomicBroadcast.deliver_view_change``).  If the group
+        and take part in it normally.  This is sound because every message
+        the process missed is covered by the resync view change: a message
+        it never acknowledged is still in some member's unstable set (its
+        batch cannot be stable without the acknowledgement), and a message
+        it acknowledged before crashing is re-added to its *own* unstable
+        set by the broadcast layer's ``on_member_recovered`` hook -- called
+        below, before the resync SYNC collects the unstable set -- so the
+        decided union contains it either way.  If the group
         moved on without this process, its stale view-change message is
         answered with the current view (state transfer) or a not-member
         notification (join protocol).  Already excluded (or mid-join):
@@ -247,6 +258,10 @@ class GroupMembership(Component):
             return
         self._status = MEMBER
         self._reset_view_change_state()
+        if self._handler is not None:
+            recovered_hook = getattr(self._handler, "on_member_recovered", None)
+            if recovered_hook is not None:
+                recovered_hook()
         self._start_view_change(resync=True)
 
     # ------------------------------------------------------------------ failure detector
@@ -265,6 +280,31 @@ class GroupMembership(Component):
         else:
             if self._status == MEMBER and pid in self._pending_joins:
                 self._start_view_change()
+            elif (
+                self._status == VIEW_CHANGE_IN_PROGRESS
+                and self._vc_sent
+                and pid in self._view.members
+                and pid not in self._syncs
+                and self.now - self._vc_started_at >= self.view_change_revive_after
+            ):
+                # A co-member we never heard a SYNC from came back into
+                # trust while the view change has been stalled well past
+                # any healthy completion time: the peer was unreachable
+                # (e.g. across a partition), so everything we multicast
+                # meanwhile -- including the view change announcement
+                # itself -- was dropped, and with no retransmission the
+                # stall would be permanent on both sides.  Re-announce to
+                # that peer alone, with the resync flag so a peer still in
+                # this same view change repeats its SYNC.  A peer that
+                # moved past this view instead answers with VIEW_INSTALL
+                # or NOT_MEMBER, pulling us back through the join
+                # protocol's state transfer.  The stall-age gate keeps the
+                # QoS-mistake path byte-silent: a wrong suspicion's trust
+                # returns within one mistake duration, while the view
+                # change either already completed (status is MEMBER again)
+                # or has been open only a few round trips.
+                self.send_one(pid, (_VIEW_CHANGE, self._view.vid, True))
+                self.send_one(pid, self._sync_message())
 
     # ------------------------------------------------------------------ messages
 
@@ -301,6 +341,7 @@ class GroupMembership(Component):
         if self._status != MEMBER:
             return
         self._status = VIEW_CHANGE_IN_PROGRESS
+        self._vc_started_at = self.now
         self._obs.view_change(self.now, self.pid, self._view.vid)
         if self._handler is not None:
             self._handler.on_view_change_started()
@@ -455,7 +496,12 @@ class GroupMembership(Component):
         else:
             unstable = ()
         origin = self._view.vid if self.is_member() else self._last_known_view.vid
-        value = (self.pid, (origin, candidate, unstable))
+        # The proposal carries the proposer's delivered count: at decision
+        # time it is the prefix fence that separates members who may deliver
+        # the unstable union directly from members who must reconcile
+        # through the state transfer first (see :meth:`_on_reform_decision`).
+        delivered = self._handler.delivered_count if self._handler is not None else 0
+        value = (self.pid, (origin, candidate, unstable, delivered))
         # Participants default to the full static process set: any global
         # majority of alive processes decides, members or not.
         self.consensus.propose(("reform", new_epoch), value)
@@ -476,7 +522,7 @@ class GroupMembership(Component):
         self._propose_reformation(new_epoch)
 
     def _on_reform_decision(self, new_epoch: int, value: Any) -> None:
-        _proposer, (origin_vid, members, unstable) = value
+        _proposer, (origin_vid, members, unstable, decided_prefix) = value
         if new_epoch <= self._view.epoch:
             return  # this process already lives in a reformed (or later) epoch
         new_view = View(origin_vid[1] + 1, tuple(members), new_epoch)
@@ -487,12 +533,34 @@ class GroupMembership(Component):
             # epoch, so any late normal view-change decision of the old
             # epoch no longer matches our view identity and is discarded
             # by :meth:`_on_decision`.
-            if self._handler is not None:
-                self._handler.deliver_view_change(unstable)
             if self.pid in new_view.members:
+                # Prefix fence.  Reform participants come from *diverged*
+                # views -- after a transient partition the majority side has
+                # installed later views and delivered messages that went
+                # stable there, so they appear in nobody's unstable union.
+                # A member that is behind the decided proposal (older view,
+                # or shorter delivered prefix than the proposer's) would
+                # skip those stable messages forever if it delivered the
+                # union here.  It must instead re-enter through the
+                # prefix-indexed state transfer, which replays everything
+                # missed in order; members at or past the decided prefix
+                # deliver the union directly (already-delivered entries are
+                # deduplicated by the broadcast layer).
+                local_prefix = (
+                    self._handler.delivered_count if self._handler is not None else 0
+                )
+                if self._view.vid < origin_vid or local_prefix < decided_prefix:
+                    self._become_excluded(new_view)
+                    return
+                if self._handler is not None:
+                    self._handler.deliver_view_change(unstable)
                 joiners = [m for m in new_view.members if m not in self._view.members]
                 self._install_view(new_view, notify_joiners=joiners)
             else:
+                # Same prefix rule as :meth:`_on_decision`: an excluded
+                # process must not deliver the union (it may start past the
+                # local delivery prefix); the rejoin state transfer replays
+                # everything in order instead.
                 self._become_excluded(new_view)
             return
         # Excluded or joining: the reformed view supersedes whatever this
@@ -517,14 +585,24 @@ class GroupMembership(Component):
             # longer matches the local view identity.
             return
         _proposer, (new_members, unstable) = value
-        if self._handler is not None:
-            self._handler.deliver_view_change(unstable)
         new_view = View(vid[1] + 1, tuple(new_members), vid[0])
         self._last_known_view = new_view
         joiners = [m for m in new_members if m not in self._view.members]
         if self.pid in new_members:
+            if self._handler is not None:
+                self._handler.deliver_view_change(unstable)
             self._install_view(new_view, notify_joiners=joiners)
         else:
+            # Do NOT deliver the union when excluded: the decided union only
+            # covers the *surviving* members' unstable sets, so for this
+            # process it can start past its delivery prefix (e.g. after a
+            # crash recovery, when a message it acknowledged went stable
+            # while it was down).  Delivering it here would both break total
+            # order locally and corrupt the join protocol's state transfer,
+            # which sends the group log *since the joiner's delivered count*
+            # and therefore requires the joiner's log to be a prefix of the
+            # group's.  Everything is replayed, in order, by the state
+            # transfer when this process rejoins.
             self._become_excluded(new_view)
 
     def _install_view(self, view: View, notify_joiners: Sequence[int] = ()) -> None:

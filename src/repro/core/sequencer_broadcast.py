@@ -409,14 +409,38 @@ class SequencerAtomicBroadcast(AtomicBroadcast):
         """Freeze normal operation while the view change runs."""
         self._frozen = True
 
+    def on_member_recovered(self) -> None:
+        """Re-advertise acknowledged-but-undelivered messages after a crash.
+
+        A batch becomes stable once *every* member acknowledged it, and
+        stability removes its messages from all unstable sets.  A process
+        that acknowledged a batch and then crashed before the corresponding
+        DELIVER arrived therefore holds sequenced messages that are in
+        nobody's unstable set: without this hook its resync view change
+        would decide a union missing them and its delivery log would resume
+        mid-sequence.  Having acknowledged, the process knows the payload
+        and sequence number locally, so putting them back into its own
+        unstable set is enough for the SYNC it is about to send to cover
+        the gap.  The group membership layer calls this on recovery, before
+        it collects this layer's unstable set for the resync SYNC.
+        """
+        for broadcast_id, seqnum in self._assignments.items():
+            if broadcast_id in self._unstable or self.has_delivered(broadcast_id):
+                continue
+            if broadcast_id not in self._payloads:
+                continue
+            self._unstable[broadcast_id] = seqnum
+
     def deliver_view_change(self, entries: Tuple) -> None:
         """Deliver the decided union of unstable messages (view synchrony).
 
         The union also covers crash-recovered members: a recovered process
         freezes this layer before any post-recovery stability update can
-        reach it, so everything it missed while down is still in its own (or
-        another member's) advertised unstable set -- nothing it has not
-        delivered can have left every sync.
+        reach it, so everything it missed while down is either still in
+        some member's advertised unstable set or -- if it acknowledged the
+        batch itself before crashing -- re-added to its own unstable set by
+        :meth:`on_member_recovered` before the resync SYNC goes out.
+        Nothing it has not delivered can have left every sync.
         """
         with_seqnum = sorted(
             (entry for entry in entries if entry[2] is not None), key=lambda e: e[2]

@@ -17,13 +17,15 @@ failure-detector scan (one calendar event per Q ms instead of per-pair
 timers) -- the throughput lane for large-n sweeps; scanned points cache
 under their own keys.
 
-Beyond the figures, ``--scenario`` runs any of the nine scenario kinds as
+Beyond the figures, ``--scenario`` runs any of the twelve scenario kinds as
 an ad-hoc campaign grid (delegating to ``python -m repro.campaigns``, whose
 options apply -- including ``--stack`` / ``--fd`` for sweeping registered
 protocol stacks and failure detector kinds, ``--hb-period`` /
 ``--hb-timeout`` for the heartbeat detector plane,
-``--reformation-timeout`` for the ``gm-reform`` recovery window, and the
-service-load axes ``--clients`` / ``--consistency`` / ``--max-batch``)::
+``--reformation-timeout`` for the ``gm-reform`` recovery window, the
+service-load axes ``--clients`` / ``--consistency`` / ``--max-batch``, and
+the fault-injection axes ``--fault-duration`` / ``--wan-profile`` /
+``--degrade-factor`` / ``--link-loss``)::
 
     python -m repro.experiments --scenario churn --churn-rate 2 \\
         --throughputs 10 100 --jobs 4 --cache-dir .cache

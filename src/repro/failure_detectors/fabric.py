@@ -11,7 +11,16 @@ happen:
   again one detection time after the recovery;
 * forced suspicions: :meth:`suspect_permanently` (the crash-steady
   convention) and :meth:`suspect_during` (deterministic wrong-suspicion
-  windows used by declarative fault schedules).
+  windows used by declarative fault schedules);
+* partition awareness: the clock-driven detectors exchange no messages, so
+  they cannot starve naturally when the network partitions (unlike the
+  heartbeat detector, whose real heartbeat traffic the partition mask
+  drops).  The fabric therefore listens for reachability changes: while the
+  ``monitored -> monitor`` link is blocked the pair behaves exactly like a
+  crash from the monitor's point of view -- suspected one detection time
+  after the cut, trusted again one detection time after the heal, with the
+  pair's random mistakes suppressed in between (a stray mistake correction
+  must not clear a partition-induced suspicion).
 
 :class:`repro.failure_detectors.qos.QoSFailureDetectorFabric` extends it
 with the paper's *random* mistake model (exponential ``T_MR`` / ``T_M``);
@@ -112,8 +121,17 @@ class CrashDetectionFabric:
         #: Pairs with a live trust-restoration entry on the calendar (batch
         #: mode's counterpart of ``pair in self._pending_trust``).
         self._trust_armed: Set[Pair] = set()
+        #: (monitor, monitored) pairs whose ``monitored -> monitor`` link is
+        #: currently blocked by a partition, plus their pending transitions.
+        #: Partition changes are rare (a handful per scenario), so these stay
+        #: direct simulator events even in batched-scan mode -- the same
+        #: convention as the forced-suspicion windows.
+        self._partition_blocked: Set[Pair] = set()
+        self._pending_part_detect: Dict[Pair, EventHandle] = {}
+        self._pending_part_trust: Dict[Pair, EventHandle] = {}
         network.add_crash_listener(self._on_crash)
         network.add_recovery_listener(self._on_recovery)
+        network.add_partition_listener(self._on_partition)
 
     # ------------------------------------------------------------------ access
 
@@ -206,6 +224,8 @@ class CrashDetectionFabric:
 
     def _trust_pending(self, monitor: int, monitored: int) -> bool:
         """Whether the pair has a pending post-recovery trust restoration."""
+        if (monitor, monitored) in self._pending_part_trust:
+            return True
         if self._scan_interval is not None:
             return (monitor, monitored) in self._trust_armed
         return (monitor, monitored) in self._pending_trust
@@ -275,6 +295,73 @@ class CrashDetectionFabric:
             return
         self._detectors[monitor]._set_suspected(monitored, False)
 
+    # ------------------------------------------------------------------ partitions
+
+    def _on_partition(self, blocked: Optional[Set[tuple]], _time: float) -> None:
+        """React to a reachability change: a cut monitoring link looks like a crash.
+
+        Monitor ``m`` learns about ``p`` through the ``p -> m`` link; while
+        that link is blocked the pair behaves exactly like a crash of ``p``
+        from ``m``'s point of view.  ``blocked`` is the network's full set of
+        blocked directed ``(src, dst)`` links (or ``None``/empty after a
+        heal); the fabric diffs it against the previous set so asymmetric
+        splits and partial heals work pair by pair.
+        """
+        detectors = self._detectors
+        now_blocked: Set[Pair] = set()
+        if blocked:
+            for src, dst in blocked:
+                if src != dst and src in detectors and dst in detectors:
+                    now_blocked.add((dst, src))  # monitor dst loses news of src
+        for monitor, monitored in now_blocked - self._partition_blocked:
+            # A stray random-mistake correction must not clear the upcoming
+            # partition suspicion, so the pair's mistakes stop (crash parity).
+            self._cancel_mistakes(monitor, monitored)
+            self._cancel_part_trust(monitor, monitored)
+            if monitored in self._crashed:
+                continue  # the crash path already drives this pair
+            self._pending_part_detect[(monitor, monitored)] = self._sim.schedule(
+                self._detection_time(monitor, monitored),
+                self._partition_detect,
+                monitor,
+                monitored,
+            )
+        for monitor, monitored in self._partition_blocked - now_blocked:
+            # A cut shorter than the detection time goes unnoticed.
+            pending = self._pending_part_detect.pop((monitor, monitored), None)
+            if pending is not None:
+                pending.cancel()
+            if monitored not in self._crashed and detectors[monitor].is_suspected(monitored):
+                self._pending_part_trust[(monitor, monitored)] = self._sim.schedule(
+                    self._detection_time(monitor, monitored),
+                    self._partition_trust,
+                    monitor,
+                    monitored,
+                )
+            # Mistake generation resumes once the link is back (the pending
+            # partition trust, entered first, keeps ``_resume_mistakes`` from
+            # lifting the suspicion early).
+            if self._started and monitored not in self._crashed and monitor not in self._crashed:
+                self._resume_mistakes(monitor, monitored)
+        self._partition_blocked = now_blocked
+
+    def _partition_detect(self, monitor: int, monitored: int) -> None:
+        self._pending_part_detect.pop((monitor, monitored), None)
+        if monitored in self._crashed:
+            return
+        self._detectors[monitor]._set_suspected(monitored, True)
+
+    def _partition_trust(self, monitor: int, monitored: int) -> None:
+        self._pending_part_trust.pop((monitor, monitored), None)
+        if monitored in self._crashed or (monitor, monitored) in self._partition_blocked:
+            return
+        self._detectors[monitor]._set_suspected(monitored, False)
+
+    def _cancel_part_trust(self, monitor: int, monitored: int) -> None:
+        handle = self._pending_part_trust.pop((monitor, monitored), None)
+        if handle is not None:
+            handle.cancel()
+
     # ------------------------------------------------------------------ crashes
 
     def _on_crash(self, pid: int, _time: float) -> None:
@@ -321,7 +408,21 @@ class CrashDetectionFabric:
                 pending = self._pending_detect.pop((monitor, pid), None)
                 if pending is not None:
                     pending.cancel()
-            if self._detectors[monitor].is_suspected(pid):
+            if (monitor, pid) in self._partition_blocked:
+                # The recovered process is still cut off from this monitor:
+                # the heal (not the recovery) owns the eventual trust
+                # restoration.  If the crash masked the partition's own
+                # detection (it began while the process was down), arm it now.
+                if (monitor, pid) not in self._pending_part_detect and not self._detectors[
+                    monitor
+                ].is_suspected(pid):
+                    self._pending_part_detect[(monitor, pid)] = self._sim.schedule(
+                        self._detection_time(monitor, pid),
+                        self._partition_detect,
+                        monitor,
+                        pid,
+                    )
+            elif self._detectors[monitor].is_suspected(pid):
                 detection_time = self._detection_time(monitor, pid)
                 if batch:
                     self._trust_armed.add((monitor, pid))
@@ -330,10 +431,13 @@ class CrashDetectionFabric:
                     self._pending_trust[(monitor, pid)] = self._sim.schedule(
                         detection_time, self._restore_trust, monitor, pid
                     )
-            # Wrong-suspicion generation resumes in both directions.
+            # Wrong-suspicion generation resumes in both directions (unless a
+            # partition still blocks that direction's monitoring link).
             if self._started:
-                self._resume_mistakes(monitor, pid)
-                self._resume_mistakes(pid, monitor)
+                if (monitor, pid) not in self._partition_blocked:
+                    self._resume_mistakes(monitor, pid)
+                if (pid, monitor) not in self._partition_blocked:
+                    self._resume_mistakes(pid, monitor)
 
     def _restore_trust(self, monitor: int, recovered: int) -> None:
         self._pending_trust.pop((monitor, recovered), None)

@@ -90,6 +90,12 @@ class NullInstrumentation:
     def service_batch(self, time, pid, size):
         pass
 
+    def partition_changed(self, time, blocked_links):
+        pass
+
+    def process_degraded(self, time, pid, factor):
+        pass
+
     def sim_event(self, time, category):
         pass
 
@@ -134,6 +140,8 @@ HOOKS = (
     "service_request",
     "service_reply",
     "service_batch",
+    "partition_changed",
+    "process_degraded",
 )
 
 
@@ -431,6 +439,40 @@ class Instrumentation:
         if self.record_events:
             self.events.append(
                 {"t": time, "ev": "service_batch", "pid": pid, "size": size}
+            )
+
+    def partition_changed(self, time: float, blocked_links: int) -> None:
+        """The network partition mask changed (``net.partition``).
+
+        ``blocked_links`` is the number of directed links now blocked
+        (0 = fully healed).
+        """
+        if blocked_links:
+            self.counters["net.partitions"] += 1
+        else:
+            self.counters["net.heals"] += 1
+        self.gauge_max("net.blocked_links_hwm", blocked_links)
+        self._notify("partition_changed", time, blocked_links)
+        if self.record_events:
+            self.events.append(
+                {"t": time, "ev": "partition", "blocked": blocked_links}
+            )
+
+    def process_degraded(self, time: float, pid: int, factor: float) -> None:
+        """Process ``pid``'s CPU rate factor changed (``proc.degraded``).
+
+        ``factor`` is the new service-time multiplier; 1.0 marks the end of
+        a gray degradation.
+        """
+        if factor != 1.0:
+            self.counters["proc.degradations"] += 1
+        else:
+            self.counters["proc.restorations"] += 1
+        self.gauge_max("proc.degrade_factor_hwm", factor)
+        self._notify("process_degraded", time, pid, factor)
+        if self.record_events:
+            self.events.append(
+                {"t": time, "ev": "degraded", "pid": pid, "factor": factor}
             )
 
     def sim_event(self, time: float, category: str) -> None:

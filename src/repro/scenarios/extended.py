@@ -14,7 +14,21 @@ makes three genuinely new workloads one spec each:
   detector pair ``(p observes q)`` has much worse QoS than every other pair,
   probing how far one bad link degrades each algorithm.
 
-All three are steady-state measurements executed by the shared
+The network fault-injection layer adds three scripted scenarios, each an
+inject -> measure -> verify :class:`~repro.scenarios.script.ScenarioScript`:
+
+* ``partition-transient`` -- a symmetric split isolates a minority for a
+  fixed window, then heals; the measurement spans the partition.
+* ``wan-steady``          -- the group is spread across the datacenters of a
+  named :class:`~repro.sim.wan.WanProfile`; steady-state latency under WAN
+  propagation delays (with the QoS detector derated so WAN lag alone never
+  looks like a crash).
+* ``gray-degradation``    -- one process's CPU runs ``degrade_factor`` times
+  slower for a window (optionally with lossy links out of it): alive and
+  correct, just slow -- the failure mode detectors must *not* treat as a
+  crash.
+
+All are steady-state measurements executed by the shared
 :class:`repro.scenarios.runner.ScenarioRunner`, so they sweep, cache and
 aggregate through the campaign subsystem exactly like the paper's scenarios.
 """
@@ -32,6 +46,7 @@ from repro.scenarios.faults import (
     VML_SUSPECT_DURATION,
     VML_SUSPECT_START,
     CorrelatedCrash,
+    DegradeLinkAt,
     FaultSchedule,
     PoissonChurn,
 )
@@ -44,13 +59,18 @@ from repro.scenarios.runner import (
     ScenarioRunner,
     SteadyStateSpec,
 )
-from repro.system import SystemConfig
+from repro.scenarios.script import ScenarioScript, ScriptContext, Stage
+from repro.sim.wan import wan_profile
+from repro.system import SystemConfig, build_system
 
 __all__ = [
     "run_asymmetric_qos",
     "run_churn_steady",
     "run_correlated_crash",
+    "run_gray_degradation",
+    "run_partition_transient",
     "run_view_majority_loss",
+    "run_wan_steady",
 ]
 
 
@@ -176,7 +196,8 @@ def run_view_majority_loss(
     how long after the blocking crash (``time_to_reformation``).
 
     ``reformation_timeout`` overrides the config's reformation window (only
-    meaningful for reformation-capable stacks); odd ``n >= 3`` only.
+    meaningful for reformation-capable stacks); any ``n >= 3`` (even group
+    sizes use the staged two-window suspicion construction).
     """
     if reformation_timeout is not None:
         config = replace(config, reformation_timeout=reformation_timeout)
@@ -260,3 +281,236 @@ def run_asymmetric_qos(
         },
     )
     return ScenarioRunner().run_steady(spec)
+
+
+def _run_scripted_steady(script: ScenarioScript, spec: SteadyStateSpec) -> ScenarioResult:
+    """Insert the shared build/measure stages and run ``script``.
+
+    Every scripted fault scenario shares the same core: build the system
+    (keeping the reference for verification), run the steady-state
+    measurement on it.  The caller appends its scenario-specific ``verify``
+    stage (non-critical: a violated invariant is recorded into the result,
+    not raised out of a sweep worker) before calling this.
+    """
+    def build(context: ScriptContext) -> None:
+        context.values["system"] = build_system(spec.config)
+
+    def measure(context: ScriptContext) -> None:
+        context.result = ScenarioRunner().run_steady_on(context.require("system"), spec)
+
+    script.stages[:0] = [Stage("build", build), Stage("measure", measure)]
+    context = script.run()
+    assert context.result is not None
+    return context.result
+
+
+def run_partition_transient(
+    config: SystemConfig,
+    throughput: float,
+    partition_start: Optional[float] = None,
+    partition_duration: float = 2_000.0,
+    detection_time: float = 10.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency across a transient symmetric partition.
+
+    The top ``(n - 1) // 2`` pids are cut off from the majority at
+    ``partition_start`` (default: the middle of the expected arrival
+    window) and rejoin ``partition_duration`` ms later.  The clock-driven
+    detectors suspect unreachable peers one detection time after the cut
+    (and trust them again after the heal); the heartbeat detector starves
+    naturally.  Workload arrivals stay on all processes -- minority-side
+    sends during the window are the interesting part.
+
+    The script's ``verify`` stage checks the partition actually bit
+    (frames were dropped) and fully healed; a violation is recorded under
+    ``params["script"]`` rather than raised.
+    """
+    n = config.n
+    if partition_start is None:
+        partition_start = 0.5 * _arrival_window(num_messages, warmup_fraction, throughput)
+    faults = FaultSchedule.partition_transient(n, partition_start, partition_duration)
+    minority = tuple(range(n - (n - 1) // 2, n))
+    spec = SteadyStateSpec(
+        scenario="partition-transient",
+        config=replace(config, fd=QoSConfig(detection_time=detection_time)),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=faults,
+        senders=list(range(n)),
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "partition_start": partition_start,
+            "partition_duration": partition_duration,
+            "minority": minority,
+            "detection_time": detection_time,
+        },
+    )
+
+    def verify(context: ScriptContext) -> None:
+        system = context.require("system")
+        stats = system.network.stats
+        if stats.dropped_partitioned == 0:
+            raise AssertionError(
+                "the partition window dropped no frames -- it never took effect"
+            )
+        # The run may legitimately stop (all measured messages delivered)
+        # before the heal instant; only a run that outlived it must be whole.
+        if context.result.duration >= partition_start + partition_duration:
+            still_blocked = [
+                (src, dst)
+                for src in range(n)
+                for dst in range(n)
+                if src != dst and system.network.is_link_blocked(src, dst)
+            ]
+            if still_blocked:
+                raise AssertionError(
+                    f"links still blocked after the heal: {still_blocked}"
+                )
+        context.result.params["dropped_partitioned"] = stats.dropped_partitioned
+
+    script = ScenarioScript("partition-transient").stage("verify", verify, critical=False)
+    return _run_scripted_steady(script, spec)
+
+
+def run_wan_steady(
+    config: SystemConfig,
+    throughput: float,
+    profile: str = "wan-3dc",
+    detection_time: float = 10.0,
+    fd_slack: float = 2.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency with the group spread across WAN datacenters.
+
+    ``profile`` names a registered :class:`~repro.sim.wan.WanProfile`;
+    process ``pid`` lives in datacenter ``pid % dc_count`` and every
+    cross-datacenter frame pays the profile's one-way propagation delay on
+    top of the paper's contention model.  When the stack runs the QoS
+    detector, its per-pair detection times are derived from the topology
+    (``fd_slack`` round trips of headroom) so WAN lag alone never looks
+    like a crash.
+    """
+    topology = wan_profile(profile)
+    fd = QoSConfig(detection_time=detection_time)
+    if config.fd_kind == "qos":
+        fd = topology.derive_fd_config(fd, config.n, slack=fd_slack)
+    spec = SteadyStateSpec(
+        scenario="wan-steady",
+        config=replace(config, wan_profile=profile, fd=fd),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "wan_profile": profile,
+            "dc_count": topology.dc_count,
+            "max_wan_delay": topology.max_delay(),
+            "fd_slack": fd_slack,
+            "detection_time": detection_time,
+        },
+    )
+
+    def verify(context: ScriptContext) -> None:
+        result = context.result
+        if result.undelivered:
+            raise AssertionError(
+                f"wan-steady is fault-free yet {result.undelivered} measured "
+                "messages were never delivered"
+            )
+
+    script = ScenarioScript("wan-steady").stage("verify", verify, critical=False)
+    return _run_scripted_steady(script, spec)
+
+
+def run_gray_degradation(
+    config: SystemConfig,
+    throughput: float,
+    degraded_pid: int = 0,
+    degrade_factor: float = 4.0,
+    degrade_start: Optional[float] = None,
+    degrade_duration: float = 2_000.0,
+    link_loss: float = 0.0,
+    detection_time: float = 10.0,
+    num_messages: int = DEFAULT_MESSAGES,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    max_time: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ScenarioResult:
+    """Steady-state latency across a gray failure of one process.
+
+    From ``degrade_start`` (default: the middle of the expected arrival
+    window) until ``degrade_duration`` later, ``degraded_pid``'s CPU serves
+    every job ``degrade_factor`` times slower -- alive and correct, just
+    slow.  With ``link_loss > 0`` its outgoing links additionally drop each
+    frame with that probability during the window.  The default victim is
+    pid 0: the sequencer/coordinator of the GM stacks, the most damaging
+    single slow process.
+    """
+    n = config.n
+    if not 0 <= degraded_pid < n:
+        raise ValueError(f"degraded pid {degraded_pid} out of range 0..{n - 1}")
+    if degrade_factor <= 1.0:
+        raise ValueError(f"a gray degradation needs factor > 1, got {degrade_factor}")
+    if not 0.0 <= link_loss < 1.0:
+        raise ValueError(f"link_loss must be in [0, 1), got {link_loss}")
+    if degrade_start is None:
+        degrade_start = 0.5 * _arrival_window(num_messages, warmup_fraction, throughput)
+    degrade_end = degrade_start + degrade_duration
+    faults = FaultSchedule().degrade(degrade_start, degraded_pid, degrade_factor).restore(
+        degrade_end, degraded_pid
+    )
+    if link_loss > 0.0:
+        for dst in range(n):
+            if dst == degraded_pid:
+                continue
+            faults = faults.add(
+                DegradeLinkAt(degrade_start, degraded_pid, dst, loss_probability=link_loss)
+            ).add(DegradeLinkAt(degrade_end, degraded_pid, dst))
+    spec = SteadyStateSpec(
+        scenario="gray-degradation",
+        config=replace(config, fd=QoSConfig(detection_time=detection_time)),
+        throughput=throughput,
+        num_messages=num_messages,
+        warmup_fraction=warmup_fraction,
+        faults=faults,
+        senders=list(range(n)),
+        max_time=max_time,
+        max_events=max_events,
+        params={
+            "degraded_pid": degraded_pid,
+            "degrade_factor": degrade_factor,
+            "degrade_start": degrade_start,
+            "degrade_duration": degrade_duration,
+            "link_loss": link_loss,
+            "detection_time": detection_time,
+        },
+    )
+
+    def verify(context: ScriptContext) -> None:
+        system = context.require("system")
+        # The run may legitimately stop (all measured messages delivered)
+        # before the restore instant; only a run that outlived it must have
+        # returned the CPU to full speed.
+        if context.result.duration >= degrade_end:
+            restored = system.network.cpu(degraded_pid).rate_factor
+            if restored != 1.0:
+                raise AssertionError(
+                    f"pid {degraded_pid} still degraded after the window: x{restored}"
+                )
+        if link_loss > 0.0:
+            context.result.params["dropped_lossy_link"] = (
+                system.network.stats.dropped_lossy_link
+            )
+
+    script = ScenarioScript("gray-degradation").stage("verify", verify, critical=False)
+    return _run_scripted_steady(script, spec)

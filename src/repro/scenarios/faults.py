@@ -1,8 +1,10 @@
 """Declarative fault schedules.
 
 A :class:`FaultSchedule` is a list of timed fault events -- crashes,
-recoveries, correlated crash groups, forced wrong-suspicion windows and
-Poisson crash-recovery churn generators -- that is *compiled onto* a
+recoveries, correlated crash groups, forced wrong-suspicion windows,
+network partitions (symmetric splits and asymmetric blocked links), gray
+failures (degraded CPUs, lossy/duplicating links) and Poisson
+crash-recovery churn generators -- that is *compiled onto* a
 :class:`repro.system.BroadcastSystem` before a run.  The scenario drivers
 stop hand-coding their fault logic: every scenario (the paper's four and the
 beyond-paper ones) is "a workload plus a fault schedule", executed by the
@@ -109,6 +111,110 @@ class SuspectDuring(FaultEvent):
 
 
 @dataclass(frozen=True)
+class PartitionAt(FaultEvent):
+    """Partition the network at ``time``.
+
+    ``groups`` lists the symmetric sides of the split: communication is only
+    possible within a group, and every pid not listed becomes a singleton.
+    ``links`` instead blocks individual *directed* ``(src, dst)`` links (an
+    asymmetric partition -- e.g. A can reach B while B's frames to A are
+    lost).  Exactly one of the two must be given.  Partitions replace each
+    other: a later :class:`PartitionAt` supersedes the earlier mask, and
+    :class:`HealAt` restores full connectivity.
+    """
+
+    time: float
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    links: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"partitions cannot predate the run, got time={self.time}")
+        if bool(self.groups) == bool(self.links):
+            raise ValueError("a partition needs either groups or links (not both)")
+        seen = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(f"pid {pid} appears in more than one group")
+                seen.add(pid)
+        for link in self.links:
+            if len(link) != 2 or link[0] == link[1]:
+                raise ValueError(f"a blocked link must be a (src, dst) pair, got {link!r}")
+
+
+@dataclass(frozen=True)
+class HealAt(FaultEvent):
+    """Heal every partition (and blocked link) at ``time``."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"healing cannot predate the run, got time={self.time}")
+
+
+@dataclass(frozen=True)
+class DegradeAt(FaultEvent):
+    """Gray failure: slow the CPU of ``pid`` by ``factor`` from ``time`` on.
+
+    The process stays alive and correct -- every job it serves just takes
+    ``factor`` times as long -- so a well-calibrated failure detector must
+    *not* permanently exclude it.  ``RestoreAt`` returns it to full speed.
+    """
+
+    time: float
+    pid: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"degradations cannot predate the run, got time={self.time}")
+        if self.factor < 1.0:
+            raise ValueError(f"a degradation factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class RestoreAt(FaultEvent):
+    """End a gray CPU degradation: ``pid`` runs at full speed from ``time``."""
+
+    time: float
+    pid: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"restorations cannot predate the run, got time={self.time}")
+
+
+@dataclass(frozen=True)
+class DegradeLinkAt(FaultEvent):
+    """Gray link: make the directed link ``src -> dst`` lossy/duplicating.
+
+    Each frame crossing the link is independently dropped with
+    ``loss_probability`` and (if not dropped) duplicated with
+    ``duplicate_probability``, driven by the system's named random stream
+    so runs stay deterministic per seed.  Scheduling the event with both
+    probabilities zero restores the link.
+    """
+
+    time: float
+    src: int
+    dst: int
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"link faults cannot predate the run, got time={self.time}")
+        if self.src == self.dst:
+            raise ValueError("a link fault needs two distinct endpoints")
+        for name in ("loss_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
 class PoissonChurn(FaultEvent):
     """Crash-recovery churn: a Poisson process of crashes, each with a downtime.
 
@@ -212,11 +318,52 @@ class FaultSchedule:
         """Append a :class:`RecoverAt` (chainable)."""
         return self.add(RecoverAt(time, pid))
 
+    def partition(self, time: float, groups: Sequence[Sequence[int]]) -> "FaultSchedule":
+        """Append a symmetric :class:`PartitionAt` (chainable)."""
+        return self.add(PartitionAt(time, groups=tuple(tuple(g) for g in groups)))
+
+    def heal(self, time: float) -> "FaultSchedule":
+        """Append a :class:`HealAt` (chainable)."""
+        return self.add(HealAt(time))
+
+    def degrade(self, time: float, pid: int, factor: float) -> "FaultSchedule":
+        """Append a :class:`DegradeAt` (chainable)."""
+        return self.add(DegradeAt(time, pid, factor))
+
+    def restore(self, time: float, pid: int) -> "FaultSchedule":
+        """Append a :class:`RestoreAt` (chainable)."""
+        return self.add(RestoreAt(time, pid))
+
     @staticmethod
     def pre_crashed(pids: Sequence[int]) -> "FaultSchedule":
         """The crash-steady schedule: ``pids`` down and suspected from t = 0."""
         return FaultSchedule(
             [CrashAt(0.0, pid, permanent_suspicion=True) for pid in pids]
+        )
+
+    @staticmethod
+    def partition_transient(
+        n: int, start: float, duration: float
+    ) -> "FaultSchedule":
+        """The canonical transient partition: split off a minority, then heal.
+
+        The top ``(n - 1) // 2`` pids form the minority side -- the largest
+        split that still leaves a majority able to make progress.  The
+        minority must never deliver past the epoch fence while partitioned
+        (its views cannot gather a majority), and after healing every
+        process converges back onto one total order.
+        """
+        if n < 3:
+            raise ValueError(f"a transient partition needs n >= 3, got n={n}")
+        if duration <= 0:
+            raise ValueError(f"the partition needs a positive duration, got {duration}")
+        minority = tuple(range(n - (n - 1) // 2, n))
+        majority = tuple(range(n - (n - 1) // 2))
+        return FaultSchedule(
+            [
+                PartitionAt(start, groups=(majority, minority)),
+                HealAt(start + duration),
+            ]
         )
 
     @staticmethod
@@ -245,13 +392,18 @@ class FaultSchedule:
         window ends before a default-timeout reformation proposes, so the
         wrongly excluded processes are trusted again and re-admitted.
 
-        Only odd ``n >= 3`` admits the single-window construction (for even
-        ``n`` the first shrink cannot cross the view majority in one step).
+        Odd ``n >= 3`` uses the single-window construction.  Even ``n >= 4``
+        cannot cross the view majority in one shrink (removing ``(n-1)//2``
+        members from an even view leaves an alive majority), so it stages
+        two suspicion windows: the first suspects only the highest pid,
+        shrinking to the odd view ``{0..n-2}``; a second window starting
+        midway between ``suspect_start`` and ``crash_time`` then suspects
+        the top ``(n-2)/2`` of that view, reaching the same blocked shape
+        with the shrunken view ``{0..n/2-1}``.  Both windows end together,
+        so the reformation re-admits every wrongly suspected process.
         """
-        if n < 3 or n % 2 == 0:
-            raise ValueError(
-                f"view-majority loss needs an odd group size >= 3, got n={n}"
-            )
+        if n < 3:
+            raise ValueError(f"view-majority loss needs a group size >= 3, got n={n}")
         if not suspect_start < crash_time < suspect_start + suspect_duration:
             raise ValueError(
                 "the blocking crash must fire inside the suspicion window "
@@ -259,17 +411,34 @@ class FaultSchedule:
                 f"{suspect_start + suspect_duration}, got {crash_time}); outside "
                 "it the view keeps an alive majority and never blocks"
             )
-        suspected = tuple(range(n - (n - 1) // 2, n))
-        shrunken = n - len(suspected)
+        window_end = suspect_start + suspect_duration
+        events: List[FaultEvent] = []
+        if n % 2 == 0:
+            # Stage 1: drop the highest pid, making the view odd.
+            events.append(SuspectDuring(suspect_start, suspect_duration, n - 1))
+            # Stage 2: midway to the crash, drop the top (n-2)/2 of the
+            # intermediate view {0..n-2} -- an odd-sized view, so this
+            # single shrink crosses its majority exactly as the odd-n case.
+            stage2_start = (suspect_start + crash_time) / 2.0
+            intermediate = n - 1
+            suspected = tuple(range(intermediate - (intermediate - 1) // 2, intermediate))
+            events.extend(
+                SuspectDuring(stage2_start, window_end - stage2_start, target)
+                for target in suspected
+            )
+            shrunken = intermediate - len(suspected)
+        else:
+            suspected = tuple(range(n - (n - 1) // 2, n))
+            events.extend(
+                SuspectDuring(suspect_start, suspect_duration, target)
+                for target in suspected
+            )
+            shrunken = n - len(suspected)
         # Crash the highest members of the shrunken view {0..shrunken-1},
         # leaving the sequencer p0 alive: one fewer alive member than the
         # shrunken view's majority, the minimal blocking crash count.
         crash_count = shrunken - shrunken // 2
         crashed = tuple(range(shrunken - crash_count, shrunken))
-        events: List[FaultEvent] = [
-            SuspectDuring(suspect_start, suspect_duration, target)
-            for target in suspected
-        ]
         events.extend(CrashAt(crash_time, pid) for pid in crashed)
         return FaultSchedule(events)
 
@@ -389,6 +558,25 @@ class FaultSchedule:
                     event.duration,
                     monitors=event.monitors,
                 )
+            elif isinstance(event, PartitionAt):
+                if event.groups:
+                    system.partition_at(event.time, event.groups)
+                else:
+                    system.block_links_at(event.time, event.links)
+            elif isinstance(event, HealAt):
+                system.heal_at(event.time)
+            elif isinstance(event, DegradeAt):
+                system.degrade_cpu_at(event.time, event.pid, event.factor)
+            elif isinstance(event, RestoreAt):
+                system.restore_cpu_at(event.time, event.pid)
+            elif isinstance(event, DegradeLinkAt):
+                system.degrade_link_at(
+                    event.time,
+                    event.src,
+                    event.dst,
+                    event.loss_probability,
+                    event.duplicate_probability,
+                )
             else:  # pragma: no cover - defensive
                 raise TypeError(f"cannot schedule fault event {event!r}")
 
@@ -398,9 +586,12 @@ class FaultSchedule:
         ``system`` is anything satisfying the
         :class:`repro.stacks.FaultInjectable` capability protocol -- the
         schedule only uses ``crash`` / ``recover`` (and their scheduled
-        variants), ``suspect_permanently`` / ``suspect_permanently_at`` and
-        ``suspect_during``, never failure detector internals, so schedules
-        run unchanged on every registered stack and fd kind.
+        variants), ``suspect_permanently`` / ``suspect_permanently_at``,
+        ``suspect_during``, the partition capabilities (``partition_at`` /
+        ``block_links_at`` / ``heal_at``) and the gray-failure capabilities
+        (``degrade_cpu_at`` / ``restore_cpu_at`` / ``degrade_link_at``),
+        never failure detector or network internals, so schedules run
+        unchanged on every registered stack and fd kind.
         """
         self.apply_pre(system)
         self.schedule(system)

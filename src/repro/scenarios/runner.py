@@ -115,6 +115,16 @@ class ScenarioRunner:
         """Run one steady-state scenario point and return its result."""
         return self._measure_steady(build_system(spec.config), spec)
 
+    def run_steady_on(self, system, spec: SteadyStateSpec) -> ScenarioResult:
+        """Run one steady-state point on a caller-prepared system.
+
+        Used by scripted scenarios (:mod:`repro.scenarios.script`) whose
+        verification stages need to inspect the system after the run --
+        the caller builds the system (``build_system(spec.config)``),
+        keeps the reference, and verifies against it once this returns.
+        """
+        return self._measure_steady(system, spec)
+
     def run_reformation(self, spec: ReformationSpec) -> ScenarioResult:
         """Run one view-majority-loss point, measuring time-to-reformation."""
         system = build_system(spec.config)

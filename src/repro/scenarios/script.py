@@ -1,0 +1,139 @@
+"""Stage orchestration for composite fault scenarios.
+
+The paper's scenarios are one-shot measurements; the fault-injection
+scenarios added on top (partitions, WAN topologies, gray failures) are
+small *sequences*: configure the topology, inject the fault, run the
+measured window, verify invariants on the outcome.  A
+:class:`ScenarioScript` makes that sequence explicit and uniformly
+error-handled:
+
+* stages run in declaration order, each receiving the shared
+  :class:`ScriptContext` (a scratch value bag plus the eventual
+  :class:`~repro.scenarios.results.ScenarioResult`);
+* the first failing stage **short-circuits** the remaining stages;
+* a *critical* stage failure (configuration errors, simulator crashes)
+  re-raises after recording which stage died, so sweep workers surface a
+  clean attribution instead of a half-attributed traceback;
+* a *non-critical* stage failure (a verification that found the invariant
+  violated) is recorded into the result's ``params`` -- a violated
+  invariant is a datum the sweep should keep, not an exception that
+  discards the point.
+
+The script never builds systems or schedules events itself -- stages do,
+usually by delegating to :class:`~repro.scenarios.runner.ScenarioRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.scenarios.results import ScenarioResult
+
+__all__ = ["ScenarioScript", "ScriptContext", "Stage"]
+
+
+class ScriptContext:
+    """Shared mutable state of one script run.
+
+    Attributes
+    ----------
+    values:
+        Inter-stage scratch storage (specs, derived configs, ...).
+    result:
+        The scenario result, once a stage produced one.
+    stages_run:
+        Names of the stages that completed, in order.
+    failed_stage / error:
+        The first failing stage and its exception (``None`` while ok).
+    """
+
+    def __init__(self, **initial: Any) -> None:
+        self.values: Dict[str, Any] = dict(initial)
+        self.result: Optional[ScenarioResult] = None
+        self.stages_run: List[str] = []
+        self.failed_stage: Optional[str] = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every stage so far completed."""
+        return self.failed_stage is None
+
+    def require(self, key: str) -> Any:
+        """Fetch a scratch value an earlier stage must have produced."""
+        try:
+            return self.values[key]
+        except KeyError:
+            raise RuntimeError(
+                f"script stage requires {key!r}, but no earlier stage produced it"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of a script.
+
+    ``critical`` stages re-raise on failure (after recording it); a
+    non-critical stage failure only short-circuits the remaining stages.
+    """
+
+    name: str
+    run: Callable[[ScriptContext], None]
+    critical: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a stage needs a non-empty name")
+
+
+@dataclass
+class ScenarioScript:
+    """An ordered stage pipeline with error short-circuiting."""
+
+    scenario: str
+    stages: List[Stage] = field(default_factory=list)
+
+    def stage(
+        self, name: str, run: Callable[[ScriptContext], None], critical: bool = True
+    ) -> "ScenarioScript":
+        """Append a stage (chainable)."""
+        if any(existing.name == name for existing in self.stages):
+            raise ValueError(f"script {self.scenario!r} already has a stage {name!r}")
+        self.stages.append(Stage(name, run, critical))
+        return self
+
+    def run(self, context: Optional[ScriptContext] = None) -> ScriptContext:
+        """Execute the stages in order; return the (possibly failed) context.
+
+        The outcome is annotated into ``context.result.params`` under
+        ``"script"`` whenever a result exists, so cached campaign points
+        carry their stage trace.
+        """
+        if not self.stages:
+            raise ValueError(f"script {self.scenario!r} has no stages")
+        context = context if context is not None else ScriptContext()
+        try:
+            for stage in self.stages:
+                try:
+                    stage.run(context)
+                except Exception as exc:
+                    context.failed_stage = stage.name
+                    context.error = exc
+                    if stage.critical:
+                        raise
+                    break
+                context.stages_run.append(stage.name)
+        finally:
+            self._annotate(context)
+        return context
+
+    def _annotate(self, context: ScriptContext) -> None:
+        result = context.result
+        if result is None:
+            return
+        trace: Dict[str, Any] = {"stages": list(context.stages_run)}
+        if context.failed_stage is not None:
+            trace["failed_stage"] = context.failed_stage
+            trace["error"] = str(context.error)
+        result.params["script"] = trace

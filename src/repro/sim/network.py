@@ -28,7 +28,7 @@ unchanged, so simulation results stay bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
@@ -37,6 +37,9 @@ from repro.sim.resources import FIFOResource
 DeliverCallback = Callable[[int, Message], None]
 CrashListener = Callable[[int, float], None]
 RecoveryListener = Callable[[int, float], None]
+#: Called on every partition change with the new set of blocked directed
+#: ``(src, dst)`` links (``None`` = fully healed) and the current time.
+PartitionListener = Callable[[Optional[Set[tuple]], float], None]
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,9 @@ class NetworkStats:
         "deliveries",
         "dropped_sender_crashed",
         "dropped_receiver_crashed",
+        "dropped_partitioned",
+        "dropped_lossy_link",
+        "duplicated_link",
     )
 
     def __init__(self) -> None:
@@ -87,6 +93,9 @@ class NetworkStats:
         self.deliveries = 0
         self.dropped_sender_crashed = 0
         self.dropped_receiver_crashed = 0
+        self.dropped_partitioned = 0
+        self.dropped_lossy_link = 0
+        self.duplicated_link = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters, keyed by counter name."""
@@ -119,6 +128,16 @@ class Network:
         self._crash_times: Dict[int, float] = {}
         self._crash_listeners: List[CrashListener] = []
         self._recovery_listeners: List[RecoveryListener] = []
+        self._partition_listeners: List[PartitionListener] = []
+        # Link-fault state (partitions / WAN delays / gray links).  All three
+        # stay ``None``/empty on the no-fault path; ``_link_faults_active``
+        # folds them into the single branch ``_transmitted`` checks, so the
+        # hot path of an unfaulted run is untouched.
+        self._unreachable: Optional[Set[tuple]] = None
+        self._wan_delays: Optional[List[List[float]]] = None
+        self._gray_links: Dict[tuple, tuple] = {}
+        self._link_rng = None
+        self._link_faults_active = False
         self.stats = NetworkStats()
         #: Instrumentation, or ``None`` (checked with one branch per send /
         #: delivery so the uninstrumented hot path stays hook-free).
@@ -152,6 +171,14 @@ class Network:
     def add_recovery_listener(self, listener: RecoveryListener) -> None:
         """Register a callback invoked as ``listener(pid, time)`` on recoveries."""
         self._recovery_listeners.append(listener)
+
+    def add_partition_listener(self, listener: PartitionListener) -> None:
+        """Register a callback invoked on every partition change / heal."""
+        self._partition_listeners.append(listener)
+
+    def set_link_rng(self, rng) -> None:
+        """Attach the random stream that drives lossy/duplicating links."""
+        self._link_rng = rng
 
     def cpu(self, pid: int) -> FIFOResource:
         """The CPU resource of process ``pid`` (useful for tests and stats)."""
@@ -213,6 +240,129 @@ class Network:
         """Process ids that have not crashed, in increasing order."""
         return [pid for pid in range(self._n) if pid not in self._crashed]
 
+    # ------------------------------------------------------------------ link faults
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Partition the network symmetrically into ``groups``.
+
+        Frames between different groups are dropped after transmission (they
+        still occupy the sender CPU and the shared network -- the medium
+        does not know the receiver is unreachable -- but never load the
+        receiving CPU).  Pids not listed in any group become singletons.
+        A new partition replaces the previous mask.
+        """
+        group_of: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                self._check_pid(pid)
+                if pid in group_of:
+                    raise ValueError(f"pid {pid} appears in more than one group")
+                group_of[pid] = index
+        blocked: Set[tuple] = set()
+        for src in range(self._n):
+            side = group_of.get(src, -1 - src)  # unlisted pids are singletons
+            for dst in range(self._n):
+                if src != dst and side != group_of.get(dst, -1 - dst):
+                    blocked.add((src, dst))
+        self._set_unreachable(blocked if blocked else None)
+
+    def block_links(self, links: Sequence[tuple]) -> None:
+        """Block individual *directed* links (an asymmetric partition).
+
+        Replaces the current partition mask, like :meth:`partition`.
+        """
+        blocked: Set[tuple] = set()
+        for src, dst in links:
+            self._check_pid(src)
+            self._check_pid(dst)
+            if src != dst:
+                blocked.add((src, dst))
+        self._set_unreachable(blocked if blocked else None)
+
+    def heal(self) -> None:
+        """Remove the partition mask: every link carries frames again."""
+        self._set_unreachable(None)
+
+    def _set_unreachable(self, blocked: Optional[Set[tuple]]) -> None:
+        self._unreachable = blocked
+        self._update_link_fault_flag()
+        now = self._sim.now
+        if self._obs is not None:
+            self._obs.partition_changed(now, len(blocked) if blocked else 0)
+        for listener in list(self._partition_listeners):
+            listener(blocked, now)
+
+    def is_link_blocked(self, src: int, dst: int) -> bool:
+        """Whether the directed link ``src -> dst`` is partitioned away."""
+        return self._unreachable is not None and (src, dst) in self._unreachable
+
+    def set_wan_delays(self, matrix: Optional[Sequence[Sequence[float]]]) -> None:
+        """Install an ``n x n`` per-pair extra propagation delay (``None`` clears).
+
+        The delay is added between the shared-medium transmission and the
+        receiving CPU -- pure propagation latency that occupies no resource,
+        which is how a WAN backbone behaves between contended endpoints.
+        """
+        if matrix is None:
+            self._wan_delays = None
+        else:
+            rows = [list(row) for row in matrix]
+            if len(rows) != self._n or any(len(row) != self._n for row in rows):
+                raise ValueError(f"the WAN delay matrix must be {self._n}x{self._n}")
+            if any(delay < 0 for row in rows for delay in row):
+                raise ValueError("WAN delays must be >= 0")
+            self._wan_delays = rows
+        self._update_link_fault_flag()
+
+    def degrade_link(
+        self,
+        src: int,
+        dst: int,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Make the directed link ``src -> dst`` lossy and/or duplicating.
+
+        Both probabilities zero restores the link.  Needs a random stream
+        (:meth:`set_link_rng`) when either probability is positive.
+        """
+        self._check_pid(src)
+        self._check_pid(dst)
+        for name, value in (
+            ("loss_probability", loss_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if loss_probability == 0.0 and duplicate_probability == 0.0:
+            self._gray_links.pop((src, dst), None)
+        else:
+            if self._link_rng is None:
+                raise RuntimeError("gray links need a random stream (set_link_rng)")
+            self._gray_links[(src, dst)] = (loss_probability, duplicate_probability)
+        self._update_link_fault_flag()
+
+    def degrade_cpu(self, pid: int, factor: float) -> None:
+        """Gray failure: scale the service time of ``CPU_pid`` by ``factor``."""
+        self._check_pid(pid)
+        self._cpus[pid].set_rate_factor(factor)
+        if self._obs is not None:
+            self._obs.process_degraded(self._sim.now, pid, factor)
+
+    def restore_cpu(self, pid: int) -> None:
+        """End a gray CPU degradation: ``CPU_pid`` runs at full speed again."""
+        self._check_pid(pid)
+        self._cpus[pid].set_rate_factor(1.0)
+        if self._obs is not None:
+            self._obs.process_degraded(self._sim.now, pid, 1.0)
+
+    def _update_link_fault_flag(self) -> None:
+        self._link_faults_active = (
+            self._unreachable is not None
+            or self._wan_delays is not None
+            or bool(self._gray_links)
+        )
+
     # ------------------------------------------------------------------ sending
 
     def send(self, message: Message) -> None:
@@ -267,11 +417,56 @@ class Network:
         self._network.submit(self._network_time, self._transmitted, message)
 
     def _transmitted(self, message: Message) -> None:
+        if self._link_faults_active:
+            self._transmitted_faulted(message)
+            return
         cpus = self._cpus
         lambda_cpu = self._lambda_cpu
         received = self._received
         for dest in message.remote_destinations():
             cpus[dest].submit(lambda_cpu, received, dest, message)
+
+    def _transmitted_faulted(self, message: Message) -> None:
+        """Per-destination fan-out with partitions / gray links / WAN delays.
+
+        Split from :meth:`_transmitted` so the no-fault path keeps its tight
+        loop; this path only runs while some link fault is installed.
+        """
+        sender = message.sender
+        unreachable = self._unreachable
+        gray = self._gray_links
+        wan = self._wan_delays
+        stats = self.stats
+        for dest in message.remote_destinations():
+            if unreachable is not None and (sender, dest) in unreachable:
+                # The frame crossed the medium but the link is cut: it never
+                # loads the receiving CPU.
+                stats.dropped_partitioned += 1
+                continue
+            copies = 1
+            if gray:
+                fault = gray.get((sender, dest))
+                if fault is not None:
+                    loss, duplicate = fault
+                    if loss and self._link_rng.random() < loss:
+                        stats.dropped_lossy_link += 1
+                        continue
+                    if duplicate and self._link_rng.random() < duplicate:
+                        stats.duplicated_link += 1
+                        copies = 2
+            delay = wan[sender][dest] if wan is not None else 0.0
+            for _copy in range(copies):
+                if delay > 0.0:
+                    self._sim.schedule(delay, self._wan_arrived, dest, message)
+                else:
+                    self._cpus[dest].submit(
+                        self._lambda_cpu, self._received, dest, message
+                    )
+
+    def _wan_arrived(self, dest: int, message: Message) -> None:
+        # The frame finished its WAN propagation; it now loads the receiving
+        # CPU exactly as a local frame would.
+        self._cpus[dest].submit(self._lambda_cpu, self._received, dest, message)
 
     def _received(self, dest: int, message: Message) -> None:
         if dest in self._crashed:

@@ -31,6 +31,7 @@ class FIFOResource:
         "_jobs_served",
         "_busy_time",
         "_current_job_end",
+        "_rate_factor",
     )
 
     def __init__(self, sim: Simulator, name: str) -> None:
@@ -41,6 +42,23 @@ class FIFOResource:
         self._jobs_served = 0
         self._busy_time = 0.0
         self._current_job_end: Optional[float] = None
+        self._rate_factor = 1.0
+
+    @property
+    def rate_factor(self) -> float:
+        """Current service-time multiplier (1.0 = full speed)."""
+        return self._rate_factor
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale every *subsequently submitted* job's service time by ``factor``.
+
+        Models a gray failure: the resource stays alive and correct, just
+        slower.  Jobs already queued keep the factor they were submitted
+        under (their service demand was fixed at submission).
+        """
+        if factor <= 0:
+            raise ValueError(f"rate factor must be > 0, got {factor}")
+        self._rate_factor = factor
 
     @property
     def busy(self) -> bool:
@@ -78,6 +96,8 @@ class FIFOResource:
         """
         if service_time < 0:
             raise ValueError(f"service time must be non-negative, got {service_time}")
+        if self._rate_factor != 1.0:  # gray-degraded: off path stays branch-only
+            service_time = service_time * self._rate_factor
         if self._busy:
             self._queue.append((service_time, on_done, args))
         else:

@@ -206,6 +206,71 @@ class FaultInjectable(Protocol):
         """Force a wrong suspicion of ``target`` during ``[start, start + duration]``."""
         ...
 
+    # -------------------------------------------------------------- partitions
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network into isolated groups at the current time."""
+        ...
+
+    def partition_at(self, time: float, groups: Iterable[Iterable[int]]) -> None:
+        """Schedule a symmetric partition into ``groups`` at ``time``."""
+        ...
+
+    def block_links(self, links: Iterable[tuple]) -> None:
+        """Block exactly the directed ``(src, dst)`` links (asymmetric cut)."""
+        ...
+
+    def block_links_at(self, time: float, links: Iterable[tuple]) -> None:
+        """Schedule an asymmetric link cut at ``time``."""
+        ...
+
+    def heal(self) -> None:
+        """Restore full reachability at the current simulation time."""
+        ...
+
+    def heal_at(self, time: float) -> None:
+        """Schedule the heal of every partition/link cut at ``time``."""
+        ...
+
+    # ------------------------------------------------------------ gray failures
+
+    def degrade_cpu(self, pid: int, factor: float) -> None:
+        """Slow down the CPU of ``pid`` by ``factor`` (gray failure)."""
+        ...
+
+    def degrade_cpu_at(self, time: float, pid: int, factor: float) -> None:
+        """Schedule the CPU degradation of ``pid`` at ``time``."""
+        ...
+
+    def restore_cpu(self, pid: int) -> None:
+        """Return the CPU of ``pid`` to full speed."""
+        ...
+
+    def restore_cpu_at(self, time: float, pid: int) -> None:
+        """Schedule the CPU restoration of ``pid`` at ``time``."""
+        ...
+
+    def degrade_link(
+        self,
+        src: int,
+        dst: int,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Make the directed link lossy and/or duplicating (both zero restores)."""
+        ...
+
+    def degrade_link_at(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Schedule the link degradation at ``time``."""
+        ...
+
 
 def describe_stack(spec: StackSpec) -> Dict[str, Any]:
     """A JSON-friendly view of a stack descriptor (for CLIs and tooling)."""

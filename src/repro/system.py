@@ -44,6 +44,7 @@ from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.process import SimProcess
 from repro.sim.rng import RandomStreams
+from repro.sim.wan import wan_profile as wan_registry_lookup
 from repro.stacks import registry as stack_registry
 from repro.stacks.api import FailureDetectorFabric, StackSpec
 
@@ -165,6 +166,7 @@ class SystemConfig:
     fd_scan_interval: Optional[float] = None
     max_batch: int = 0
     max_delay: float = 0.0
+    wan_profile: Optional[str] = None
 
     def __init__(
         self,
@@ -184,6 +186,7 @@ class SystemConfig:
         fd_scan_interval: Optional[float] = None,
         max_batch: int = 0,
         max_delay: float = 0.0,
+        wan_profile: Optional[str] = None,
         algorithm: Optional[str] = None,
     ) -> None:
         if algorithm is not None:
@@ -224,11 +227,17 @@ class SystemConfig:
             raise ValueError(f"max_batch must be >= 0 (0 = batching off), got {max_batch}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0 ms, got {max_delay}")
+        if wan_profile is not None:
+            # Validates the name eagerly (typos fail at configuration time,
+            # not mid-campaign); the profile stays referenced by name so the
+            # config remains hashable and cache-key friendly.
+            wan_registry_lookup(wan_profile)
         set_field(self, "pipeline_depth", pipeline_depth)
         set_field(self, "instrument", bool(instrument))
         set_field(self, "fd_scan_interval", fd_scan_interval)
         set_field(self, "max_batch", int(max_batch))
         set_field(self, "max_delay", float(max_delay))
+        set_field(self, "wan_profile", wan_profile)
 
     @property
     def algorithm(self) -> str:
@@ -271,6 +280,14 @@ class BroadcastSystem:
                 network_time=config.network_time,
             ),
         )
+        if config.wan_profile is not None:
+            self.network.set_wan_delays(
+                wan_registry_lookup(config.wan_profile).delays(config.n)
+            )
+        # Gray links draw from their own named stream: installing it up
+        # front costs nothing (streams are independent and it is only read
+        # when a lossy/duplicating link exists).
+        self.network.set_link_rng(self.rng.stream("net/gray"))
         self.fd_fabric: FailureDetectorFabric = stack_registry.create_fd_fabric(
             config.fd_kind, self.sim, self.network, self.rng, config
         )
@@ -453,6 +470,78 @@ class BroadcastSystem:
     ) -> None:
         """Force a wrong suspicion of ``target`` during ``[start, start + duration]``."""
         self.fd_fabric.suspect_during(target, start, duration, monitors=monitors)
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network symmetrically into ``groups`` (now)."""
+        self.network.partition([tuple(group) for group in groups])
+
+    def partition_at(self, time: float, groups: Iterable[Iterable[int]]) -> None:
+        """Schedule a symmetric partition at ``time``."""
+        self.sim.schedule_at(
+            time, self.network.partition, [tuple(group) for group in groups]
+        )
+
+    def block_links(self, links: Iterable[Any]) -> None:
+        """Block individual directed links (asymmetric partition, now)."""
+        self.network.block_links([tuple(link) for link in links])
+
+    def block_links_at(self, time: float, links: Iterable[Any]) -> None:
+        """Schedule an asymmetric partition at ``time``."""
+        self.sim.schedule_at(
+            time, self.network.block_links, [tuple(link) for link in links]
+        )
+
+    def heal(self) -> None:
+        """Heal every partition and blocked link (now)."""
+        self.network.heal()
+
+    def heal_at(self, time: float) -> None:
+        """Schedule the healing of every partition at ``time``."""
+        self.sim.schedule_at(time, self.network.heal)
+
+    def degrade_cpu(self, pid: int, factor: float) -> None:
+        """Gray failure: slow ``pid``'s CPU by ``factor`` (now)."""
+        self.network.degrade_cpu(pid, factor)
+
+    def degrade_cpu_at(self, time: float, pid: int, factor: float) -> None:
+        """Schedule a gray CPU degradation of ``pid`` at ``time``."""
+        self.sim.schedule_at(time, self.network.degrade_cpu, pid, factor)
+
+    def restore_cpu(self, pid: int) -> None:
+        """End ``pid``'s gray CPU degradation (now)."""
+        self.network.restore_cpu(pid)
+
+    def restore_cpu_at(self, time: float, pid: int) -> None:
+        """Schedule the end of ``pid``'s gray degradation at ``time``."""
+        self.sim.schedule_at(time, self.network.restore_cpu, pid)
+
+    def degrade_link(
+        self,
+        src: int,
+        dst: int,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Make the directed link ``src -> dst`` lossy/duplicating (now)."""
+        self.network.degrade_link(src, dst, loss_probability, duplicate_probability)
+
+    def degrade_link_at(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        """Schedule a gray link fault on ``src -> dst`` at ``time``."""
+        self.sim.schedule_at(
+            time,
+            self.network.degrade_link,
+            src,
+            dst,
+            loss_probability,
+            duplicate_probability,
+        )
 
     def correct_processes(self) -> List[int]:
         """Ids of processes that have not crashed."""

@@ -247,9 +247,10 @@ class TestReformationAndHeartbeatDimensions:
             for field in ("reformation_timeout", "heartbeat_period", "heartbeat_timeout"):
                 assert field in point.as_dict()
 
-    def test_view_majority_loss_requires_odd_n(self):
-        with pytest.raises(ValueError, match="odd group size"):
-            PointSpec(kind="view-majority-loss", stack="gm-reform", n=4)
+    def test_view_majority_loss_accepts_any_n_from_3(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            PointSpec(kind="view-majority-loss", stack="gm-reform", n=2)
+        PointSpec(kind="view-majority-loss", stack="gm-reform", n=4)  # staged even-n
         PointSpec(kind="view-majority-loss", stack="gm-reform", n=5)  # fine
 
     def test_negative_knobs_rejected(self):
@@ -412,3 +413,111 @@ class TestServiceLoadDimensions:
         )
         assert "clients=16" in closed.label()
         assert "local" in closed.label()
+
+
+class TestFaultInjectionDimensions:
+    """The v7 sweep dimensions: partitions, WAN profiles, gray failures."""
+
+    def test_new_dimensions_enter_the_cache_key(self):
+        base = PointSpec(kind="partition-transient", stack="gm", throughput=50.0)
+        variants = [
+            PointSpec(
+                kind="partition-transient", stack="gm", throughput=50.0,
+                fault_duration=500.0,
+            ),
+            PointSpec(
+                kind="partition-transient", stack="gm", throughput=50.0,
+                crash_time=120.0,
+            ),
+            PointSpec(kind="wan-steady", stack="gm", throughput=50.0,
+                      wan_profile="wan-3dc"),
+            PointSpec(kind="wan-steady", stack="gm", throughput=50.0,
+                      wan_profile="wan-5dc"),
+            PointSpec(kind="gray-degradation", stack="gm", throughput=50.0,
+                      degrade_factor=4.0),
+            PointSpec(kind="gray-degradation", stack="gm", throughput=50.0,
+                      link_loss=0.2),
+        ]
+        keys = {point.key() for point in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_round_trip_preserves_the_key(self):
+        for point in (
+            PointSpec(kind="partition-transient", stack="gm-reform",
+                      fault_duration=750.0, crash_time=200.0),
+            PointSpec(kind="wan-steady", stack="fd", wan_profile="wan-5dc"),
+            PointSpec(kind="gray-degradation", stack="gm", degrade_factor=6.0,
+                      link_loss=0.1, crashed_process=1),
+        ):
+            clone = PointSpec.from_dict(point.as_dict())
+            assert clone == point
+            assert clone.key() == point.key()
+
+    def test_wan_profile_must_name_a_registered_topology(self):
+        with pytest.raises(ValueError, match="wan_profile"):
+            PointSpec(kind="wan-steady", stack="gm")
+        with pytest.raises(ValueError, match="unknown WAN profile"):
+            PointSpec(kind="wan-steady", stack="gm", wan_profile="wan-nope")
+
+    def test_wan_profile_rejected_on_other_kinds(self):
+        with pytest.raises(ValueError, match="wan_profile"):
+            PointSpec(kind="normal-steady", wan_profile="wan-3dc")
+
+    def test_gray_dimension_validation(self):
+        with pytest.raises(ValueError, match="degrade_factor"):
+            PointSpec(kind="gray-degradation", stack="gm", degrade_factor=0.5)
+        with pytest.raises(ValueError, match="link_loss"):
+            PointSpec(kind="gray-degradation", stack="gm", link_loss=1.0)
+        with pytest.raises(ValueError, match="fault_duration"):
+            PointSpec(kind="gray-degradation", stack="gm", fault_duration=-1.0)
+        # Zero means "the scenario default" for both knobs.
+        PointSpec(kind="gray-degradation", stack="gm")
+
+    def test_partition_transient_needs_three_processes(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            PointSpec(kind="partition-transient", stack="gm", n=2)
+
+    def test_labels_mention_the_fault_axes(self):
+        partition = PointSpec(
+            kind="partition-transient", stack="gm", fault_duration=500.0
+        )
+        assert "window=500ms" in partition.label()
+        wan = PointSpec(kind="wan-steady", stack="gm", wan_profile="wan-5dc")
+        assert "profile=wan-5dc" in wan.label()
+        gray = PointSpec(
+            kind="gray-degradation", stack="gm", crashed_process=2,
+            degrade_factor=4.0, link_loss=0.2,
+        )
+        assert "slow=p2" in gray.label()
+        assert "x4" in gray.label()
+        assert "loss=0.2" in gray.label()
+
+    def test_grid_scopes_the_axes_by_kind(self):
+        for kind, expectations in (
+            (
+                "partition-transient",
+                {"fault_duration": 500.0, "wan_profile": "", "degrade_factor": 0.0},
+            ),
+            (
+                "wan-steady",
+                {"fault_duration": 0.0, "wan_profile": "wan-5dc", "link_loss": 0.0},
+            ),
+            (
+                "gray-degradation",
+                {"fault_duration": 500.0, "wan_profile": "", "degrade_factor": 4.0,
+                 "link_loss": 0.2},
+            ),
+        ):
+            campaign = grid(
+                kind,
+                stacks=("gm",),
+                throughputs=(50.0,),
+                fault_duration=500.0,
+                wan_profile="wan-5dc",
+                degrade_factor=4.0,
+                link_loss=0.2,
+            )
+            (point,) = campaign.points()
+            for field, expected in expectations.items():
+                assert getattr(point, field) == expected, (kind, field)

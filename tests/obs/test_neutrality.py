@@ -12,6 +12,11 @@ import pytest
 
 from repro import SystemConfig, build_system
 from repro.analysis.tracing import DeliveryTraceRecorder, MessageTraceRecorder
+from repro.scenarios.extended import (
+    run_gray_degradation,
+    run_partition_transient,
+    run_wan_steady,
+)
 from repro.scenarios.steady import run_suspicion_steady
 from repro.stacks import stack_variants
 
@@ -67,6 +72,34 @@ class TestGoldenNeutrality:
         assert base.metrics is None
         assert inst.metrics is not None
         assert inst.metrics["counters"]["fd.suspicions"] > 0
+
+    @pytest.mark.parametrize(
+        "runner,kwargs",
+        [
+            (run_partition_transient, {"partition_duration": 300.0}),
+            (run_wan_steady, {"profile": "wan-3dc"}),
+            (run_gray_degradation, {"degrade_factor": 4.0, "link_loss": 0.2}),
+        ],
+        ids=["partition", "wan", "gray"],
+    )
+    def test_neutral_under_fault_injection(self, runner, kwargs):
+        """The partition/WAN/gray fault paths stay bit-identical too."""
+
+        def measure(instrument):
+            return runner(
+                SystemConfig(n=3, stack="gm-reform", seed=3, instrument=instrument),
+                50.0,
+                num_messages=30,
+                **kwargs,
+            )
+
+        base = measure(False)
+        inst = measure(True)
+        assert inst.latencies == base.latencies
+        assert inst.events == base.events
+        assert inst.duration == base.duration
+        assert base.metrics is None
+        assert inst.metrics is not None
 
 
 class TestCounterConsistency:

@@ -251,20 +251,20 @@ class TestFaultScheduleProperties:
             delivered = {payload for _bid, payload in system.abcast(pid).delivered}
             assert required <= delivered
 
-    @pytest.mark.xfail(
-        reason=(
-            "Known pre-existing GM bug (hypothesis-found, reproduced on the "
-            "unmodified pre-optimisation kernel): a process that recovers "
-            "while its first batches are being sequenced can rejoin without "
-            "receiving a state transfer for an already-stable batch, so its "
-            "delivery sequence starts mid-log (here: m1 without m0).  The "
-            "rejoin/state-transfer race lives in the gm join protocol, not "
-            "in the simulator; tracked in ROADMAP item 4."
-        ),
-        strict=False,
-    )
     def test_recovered_member_receives_full_delivery_prefix(self):
-        """Pinned falsifying example of the gm rejoin state-transfer race."""
+        """Regression: the gm rejoin state-transfer race (hypothesis-found).
+
+        Process 1 acknowledges the batch carrying m0 and crashes before the
+        DELIVER arrives; the batch goes stable (its ack was the last one),
+        which removes m0 from every member's unstable set.  On recovery p1
+        is still suspected, so the view change excludes it and its decided
+        union contains only m1 -- historically p1 delivered that union
+        (m1 without m0) and the join state transfer, indexed by the
+        joiner's delivered count, then skipped m0 forever.  Fixed by (a)
+        not delivering the union on the excluded side and (b) re-adding
+        acknowledged-but-undelivered messages to the recovering process's
+        own unstable set before its resync SYNC.
+        """
         schedule = FaultSchedule(
             [CrashAt(time=7.0, pid=1, permanent_suspicion=False), RecoverAt(time=28.0, pid=1)]
         )
@@ -274,6 +274,31 @@ class TestFaultScheduleProperties:
         sequences = system.delivery_sequences()
         assert_prefix_consistent(sequences)
         assert_no_duplicates(sequences)
+        # The recovered process must end with the full log, not a mid-log
+        # suffix: both messages, in order.
+        recovered = [payload for _bid, payload in system.abcast(1).delivered]
+        assert recovered == ["m0", "m1"]
+
+    def test_recovery_before_detection_receives_full_delivery_prefix(self):
+        """Companion regression: rejoin through the *member* resync path.
+
+        Recovering before the failure detector suspects the process keeps
+        it a trusted member, so it takes part in the resync view change
+        directly; without the ``on_member_recovered`` re-advertisement its
+        own SYNC would omit the acknowledged-but-undelivered stable batch
+        and the decided union could still start past its prefix.
+        """
+        schedule = FaultSchedule(
+            [CrashAt(time=7.0, pid=1, permanent_suspicion=False), RecoverAt(time=15.0, pid=1)]
+        )
+        system = self.run_schedule(
+            3, "gm", 0, 20.0, [(2.0, 0, "m0"), (3.0, 0, "m1")], schedule
+        )
+        sequences = system.delivery_sequences()
+        assert_prefix_consistent(sequences)
+        assert_no_duplicates(sequences)
+        recovered = [payload for _bid, payload in system.abcast(1).delivered]
+        assert recovered == ["m0", "m1"]
 
 
 @st.composite
@@ -361,3 +386,168 @@ class TestReformationProperties:
         sequences = system.delivery_sequences()
         assert_prefix_consistent(sequences)
         assert_no_duplicates(sequences)
+
+
+@st.composite
+def partition_cases(draw):
+    """A transient minority partition plus a random workload spanning it."""
+    n = draw(st.sampled_from([3, 5]))
+    stack = draw(st.sampled_from(["gm", "gm-reform"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    start = draw(st.floats(min_value=400.0, max_value=1_500.0))
+    duration = draw(st.floats(min_value=500.0, max_value=3_000.0))
+    message_count = draw(st.integers(min_value=2, max_value=10))
+    arrivals = []
+    time = 1.0
+    for index in range(message_count):
+        # Spread arrivals across the pre-cut, blocked and healed phases.
+        time += draw(st.floats(min_value=10.0, max_value=700.0))
+        sender = draw(st.integers(min_value=0, max_value=n - 1))
+        arrivals.append((time, sender, f"m{index}"))
+    return n, stack, seed, start, duration, arrivals
+
+
+class TestPartitionSafetyProperties:
+    """Safety across a transient minority partition.
+
+    The protocol channels are reliable only between mutually reachable
+    processes: frames dropped by the partition mask are never retransmitted,
+    so the minority side may stay stalled mid-view-change even after the
+    heal.  Safety must nevertheless be unconditional -- the minority never
+    delivers past the epoch fence while cut off, and no interleaving of
+    cut, suspicion, view change, reformation and heal ever produces two
+    total orders.
+    """
+
+    #: Grace period for frames already on a receiving CPU when the mask
+    #: lands (the drop happens at transmission time, so only already
+    #: received frames can still deliver on the minority side).
+    SETTLE = 50.0
+
+    def run_partitioned(self, n, stack, seed, start, duration, arrivals):
+        system = build_system(
+            SystemConfig(
+                n=n,
+                stack=stack,
+                seed=seed,
+                fd=QoSConfig(detection_time=10.0),
+                reformation_timeout=500.0,
+            )
+        )
+        deliveries = []
+        system.add_delivery_listener(
+            lambda pid, bid, _payload: deliveries.append((system.sim.now, pid, bid))
+        )
+        system.start()
+        FaultSchedule.partition_transient(n, start, duration).apply(system)
+        for time, sender, payload in arrivals:
+            system.broadcast_at(time, sender, payload)
+        system.run(until=60_000.0, max_events=1_500_000)
+        minority = set(range(n - (n - 1) // 2, n))
+        return system, deliveries, minority
+
+    @given(case=partition_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_minority_never_delivers_past_the_epoch_fence(self, case):
+        n, stack, seed, start, duration, arrivals = case
+        system, deliveries, minority = self.run_partitioned(
+            n, stack, seed, start, duration, arrivals
+        )
+        # While cut off the minority cannot gather a view (or reformation)
+        # majority, so nothing new may deliver on its side of the fence.
+        fenced = [
+            (time, pid, bid)
+            for time, pid, bid in deliveries
+            if pid in minority and start + self.SETTLE <= time <= start + duration
+        ]
+        assert fenced == [], f"minority delivered past the fence: {fenced}"
+        # The minority's log stays a prefix of the majority's single order.
+        sequences = system.delivery_sequences()
+        majority_log = sequences[0]
+        for pid in minority:
+            assert sequences[pid] == majority_log[: len(sequences[pid])]
+
+    @given(case=partition_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_healing_converges_to_one_total_order(self, case):
+        n, stack, seed, start, duration, arrivals = case
+        system, _deliveries, minority = self.run_partitioned(
+            n, stack, seed, start, duration, arrivals
+        )
+        sequences = system.delivery_sequences()
+        assert_prefix_consistent(sequences)
+        assert_no_duplicates(sequences)
+        # The whole group converges on one complete identical order: the
+        # majority progresses through the cut, and after the heal the
+        # minority re-enters (re-announced view change -> NOT_MEMBER ->
+        # join protocol -> prefix-indexed state transfer; the prefix fence
+        # keeps it off the reform union's fast path) and catches all the
+        # way up, including every message that went *stable* on the
+        # majority side while the minority was cut off.
+        logs = {pid: system.abcast(pid).delivered_ids() for pid in range(n)}
+        reference = logs[0]
+        for pid in range(1, n):
+            assert logs[pid] == reference, (
+                f"p{pid} did not converge: {logs[pid]} != {reference}"
+            )
+        required = {p for _t, s, p in arrivals}
+        delivered = {payload for _bid, payload in system.abcast(0).delivered}
+        assert required <= delivered
+
+
+@st.composite
+def gray_cases(draw):
+    """A gray CPU degradation window plus a random workload spanning it."""
+    n = draw(st.sampled_from([3, 5]))
+    stack = draw(st.sampled_from(["gm", "gm-reform"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    victim = draw(st.integers(min_value=0, max_value=n - 1))
+    factor = draw(st.sampled_from([2.0, 8.0, 32.0]))
+    start = draw(st.floats(min_value=100.0, max_value=1_000.0))
+    duration = draw(st.floats(min_value=500.0, max_value=3_000.0))
+    message_count = draw(st.integers(min_value=2, max_value=10))
+    arrivals = []
+    time = 1.0
+    for index in range(message_count):
+        time += draw(st.floats(min_value=10.0, max_value=500.0))
+        sender = draw(st.integers(min_value=0, max_value=n - 1))
+        arrivals.append((time, sender, f"m{index}"))
+    return n, stack, seed, victim, factor, start, duration, arrivals
+
+
+class TestGrayFailureProperties:
+    """A gray-degraded (alive-but-slow) process under the QoS detector.
+
+    The clock-driven QoS detector never confuses slowness with a crash, so
+    the degraded process must never be excluded from the group -- and once
+    the window ends it catches up to the full total order.
+    """
+
+    @given(case=gray_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_degraded_process_is_never_excluded_and_catches_up(self, case):
+        n, stack, seed, victim, factor, start, duration, arrivals = case
+        system = build_system(
+            SystemConfig(
+                n=n, stack=stack, seed=seed, fd=QoSConfig(detection_time=10.0)
+            )
+        )
+        system.start()
+        FaultSchedule().degrade(start, victim, factor).restore(
+            start + duration, victim
+        ).apply(system)
+        for time, sender, payload in arrivals:
+            system.broadcast_at(time, sender, payload)
+        system.run(until=60_000.0, max_events=1_500_000)
+        # Never excluded: every process's installed view still contains the
+        # degraded member.
+        for pid in range(n):
+            assert victim in system.membership(pid).view.members
+            assert system.membership(pid).is_member()
+        # And it holds the same complete log as everyone else.
+        logs = {pid: system.abcast(pid).delivered_ids() for pid in range(n)}
+        reference = logs[0]
+        for pid in range(1, n):
+            assert logs[pid] == reference
+        assert len(reference) == len(arrivals)
+        assert_no_duplicates(system.delivery_sequences())

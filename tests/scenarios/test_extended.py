@@ -7,6 +7,9 @@ from repro.scenarios.extended import (
     run_asymmetric_qos,
     run_churn_steady,
     run_correlated_crash,
+    run_gray_degradation,
+    run_partition_transient,
+    run_wan_steady,
 )
 from repro.scenarios.steady import run_normal_steady
 
@@ -126,3 +129,98 @@ class TestAsymmetricQoS:
         # One flaky observer of the sequencer forces view changes under GM,
         # while the FD algorithm only pays an occasional extra round.
         assert gm.mean_latency > fd.mean_latency
+
+
+class TestPartitionTransient:
+    def test_partition_bites_and_heals(self, algorithm):
+        result = run_partition_transient(
+            config(algorithm), throughput=50, partition_duration=500.0, num_messages=60
+        )
+        assert result.scenario == "partition-transient"
+        assert result.params["minority"] == (3, 4)
+        assert result.params["dropped_partitioned"] > 0
+        assert result.params["script"]["stages"] == ["build", "measure", "verify"]
+        assert "failed_stage" not in result.params["script"]
+
+    def test_explicit_partition_start_is_used(self, algorithm):
+        result = run_partition_transient(
+            config(algorithm),
+            throughput=50,
+            partition_start=120.0,
+            partition_duration=300.0,
+            num_messages=40,
+        )
+        assert result.params["partition_start"] == 120.0
+        assert result.params["partition_duration"] == 300.0
+
+    def test_needs_three_processes(self, algorithm):
+        with pytest.raises(ValueError):
+            run_partition_transient(config(algorithm, n=2), throughput=50)
+
+    def test_determinism_per_seed(self, algorithm):
+        first = run_partition_transient(
+            config(algorithm), throughput=50, partition_duration=400.0, num_messages=40
+        )
+        second = run_partition_transient(
+            config(algorithm), throughput=50, partition_duration=400.0, num_messages=40
+        )
+        assert first.latencies == second.latencies
+        assert first.events == second.events
+
+
+class TestWanSteady:
+    def test_wan_latency_dominates_the_lan_baseline(self, algorithm):
+        lan = run_normal_steady(config(algorithm), throughput=50, num_messages=60)
+        wan = run_wan_steady(config(algorithm), throughput=50, num_messages=60)
+        assert wan.scenario == "wan-steady"
+        assert wan.params["wan_profile"] == "wan-3dc"
+        assert wan.params["dc_count"] == 3
+        assert not wan.undelivered
+        assert wan.mean_latency > lan.mean_latency + 10.0
+
+    def test_wider_topology_is_slower(self, algorithm):
+        near = run_wan_steady(config(algorithm), throughput=50, num_messages=40)
+        far = run_wan_steady(
+            config(algorithm), throughput=50, profile="wan-5dc", num_messages=40
+        )
+        assert far.params["max_wan_delay"] > near.params["max_wan_delay"]
+        assert far.mean_latency > near.mean_latency
+
+    def test_unknown_profile_rejected(self, algorithm):
+        with pytest.raises(ValueError, match="unknown WAN profile"):
+            run_wan_steady(config(algorithm), throughput=50, profile="wan-nope")
+
+
+class TestGrayDegradation:
+    def test_degradation_slows_the_run_then_restores(self, algorithm):
+        healthy = run_normal_steady(config(algorithm), throughput=50, num_messages=60)
+        gray = run_gray_degradation(
+            config(algorithm),
+            throughput=50,
+            degrade_factor=8.0,
+            degrade_duration=1_000.0,
+            num_messages=60,
+        )
+        assert gray.scenario == "gray-degradation"
+        assert gray.params["degraded_pid"] == 0
+        assert gray.mean_latency > healthy.mean_latency
+        assert "failed_stage" not in gray.params["script"]
+
+    def test_lossy_links_drop_frames(self, algorithm):
+        result = run_gray_degradation(
+            config(algorithm),
+            throughput=50,
+            link_loss=0.3,
+            degrade_duration=1_000.0,
+            num_messages=40,
+        )
+        assert result.params["link_loss"] == 0.3
+        assert result.params["dropped_lossy_link"] > 0
+
+    def test_parameter_validation(self, algorithm):
+        with pytest.raises(ValueError):
+            run_gray_degradation(config(algorithm), throughput=50, degraded_pid=9)
+        with pytest.raises(ValueError):
+            run_gray_degradation(config(algorithm), throughput=50, degrade_factor=1.0)
+        with pytest.raises(ValueError):
+            run_gray_degradation(config(algorithm), throughput=50, link_loss=1.0)

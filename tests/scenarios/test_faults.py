@@ -6,9 +6,14 @@ from repro import SystemConfig, build_system
 from repro.scenarios.faults import (
     CorrelatedCrash,
     CrashAt,
+    DegradeAt,
+    DegradeLinkAt,
     FaultSchedule,
+    HealAt,
+    PartitionAt,
     PoissonChurn,
     RecoverAt,
+    RestoreAt,
     SuspectDuring,
 )
 
@@ -155,3 +160,139 @@ class TestPoissonChurn:
         system.run(until=5000.0)
         # Every churned process is back up by the end of the window.
         assert system.correct_processes() == [0, 1, 2, 3, 4]
+
+
+class TestLinkFaultEventValidation:
+    def test_partition_needs_exactly_one_of_groups_or_links(self):
+        with pytest.raises(ValueError):
+            PartitionAt(10.0)
+        with pytest.raises(ValueError):
+            PartitionAt(10.0, groups=((0, 1), (2,)), links=((0, 2),))
+
+    def test_partition_rejects_pid_in_two_groups(self):
+        with pytest.raises(ValueError):
+            PartitionAt(10.0, groups=((0, 1), (1, 2)))
+
+    def test_partition_rejects_self_link(self):
+        with pytest.raises(ValueError):
+            PartitionAt(10.0, links=((1, 1),))
+
+    def test_partition_and_heal_cannot_predate_the_run(self):
+        with pytest.raises(ValueError):
+            PartitionAt(-1.0, groups=((0,), (1,)))
+        with pytest.raises(ValueError):
+            HealAt(-1.0)
+
+    def test_degradation_factor_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            DegradeAt(10.0, 0, 0.5)
+        DegradeAt(10.0, 0, 1.0)  # the identity degradation is allowed
+
+    def test_degrade_and_restore_cannot_predate_the_run(self):
+        with pytest.raises(ValueError):
+            DegradeAt(-1.0, 0, 2.0)
+        with pytest.raises(ValueError):
+            RestoreAt(-1.0, 0)
+
+    def test_gray_link_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError):
+            DegradeLinkAt(10.0, 0, 1, loss_probability=1.5)
+        with pytest.raises(ValueError):
+            DegradeLinkAt(10.0, 0, 1, duplicate_probability=-0.1)
+
+    def test_gray_link_needs_distinct_endpoints(self):
+        with pytest.raises(ValueError):
+            DegradeLinkAt(10.0, 2, 2, loss_probability=0.5)
+
+    def test_partition_transient_builder_validates(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.partition_transient(2, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.partition_transient(5, 10.0, 0.0)
+
+
+class TestLinkFaultScheduleCompilation:
+    def test_partition_and_heal_fire_in_order(self):
+        system = make_system(n=3)
+        FaultSchedule().partition(10.0, [(0, 1), (2,)]).heal(25.0).apply(system)
+        assert not system.network.is_link_blocked(0, 2)
+        system.run(until=15.0)
+        assert system.network.is_link_blocked(0, 2)
+        assert system.network.is_link_blocked(2, 0)
+        assert not system.network.is_link_blocked(0, 1)
+        system.run(until=30.0)
+        assert not system.network.is_link_blocked(0, 2)
+
+    def test_asymmetric_links_block_one_direction(self):
+        system = make_system(n=3)
+        FaultSchedule([PartitionAt(10.0, links=((0, 2),))]).apply(system)
+        system.run(until=15.0)
+        assert system.network.is_link_blocked(0, 2)
+        assert not system.network.is_link_blocked(2, 0)
+
+    def test_degrade_and_restore_scale_the_cpu(self):
+        system = make_system(n=3)
+        FaultSchedule().degrade(10.0, 1, 4.0).restore(20.0, 1).apply(system)
+        assert system.network.cpu(1).rate_factor == 1.0
+        system.run(until=15.0)
+        assert system.network.cpu(1).rate_factor == 4.0
+        system.run(until=25.0)
+        assert system.network.cpu(1).rate_factor == 1.0
+
+    def test_partition_transient_splits_off_the_minority(self):
+        system = make_system(n=5)
+        FaultSchedule.partition_transient(5, 10.0, 20.0).apply(system)
+        system.run(until=15.0)
+        # Minority {3, 4} is cut from the majority {0, 1, 2}, both ways.
+        assert system.network.is_link_blocked(0, 3)
+        assert system.network.is_link_blocked(4, 2)
+        assert not system.network.is_link_blocked(3, 4)
+        assert not system.network.is_link_blocked(0, 1)
+        system.run(until=40.0)
+        assert not system.network.is_link_blocked(0, 3)
+
+    def test_gray_link_drops_frames_through_the_named_stream(self):
+        system = make_system(n=3, seed=5)
+        FaultSchedule([
+            DegradeLinkAt(0.0, 0, 1, loss_probability=1.0),
+        ]).apply(system)
+        system.start()
+        for time in (1.0, 5.0, 9.0):
+            system.broadcast_at(time, 0, f"m-{time:g}")
+        system.run(until=2_000.0)
+        assert system.network.stats.dropped_lossy_link > 0
+
+
+class TestEvenNViewMajorityLoss:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_staged_windows_reach_the_blocked_shape(self, n):
+        schedule = FaultSchedule.view_majority_loss(n)
+        suspicions = [e for e in schedule.events if isinstance(e, SuspectDuring)]
+        crashes = [e for e in schedule.events if isinstance(e, CrashAt)]
+        # Stage 1 suspects only the highest pid; stage 2 starts strictly
+        # later and suspects the top (n-2)/2 of the intermediate odd view.
+        stage1 = [e for e in suspicions if e.target == n - 1]
+        assert len(stage1) == 1
+        stage2 = [e for e in suspicions if e.target != n - 1]
+        assert {e.target for e in stage2} == set(
+            range((n - 1) - (n - 2) // 2, n - 1)
+        )
+        assert all(e.start > stage1[0].start for e in stage2)
+        # Every window ends at the same instant, so the reformation
+        # re-admits all wrongly suspected processes together.
+        ends = {e.start + e.duration for e in suspicions}
+        assert len(ends) == 1
+        # The crash leaves one fewer alive member than the shrunken view's
+        # majority, with the sequencer p0 alive.
+        shrunken = n // 2
+        assert {e.pid for e in crashes} == set(
+            range(shrunken - (shrunken - shrunken // 2), shrunken)
+        )
+        assert 0 not in {e.pid for e in crashes}
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_path_is_the_single_window_construction(self, n):
+        schedule = FaultSchedule.view_majority_loss(n)
+        suspicions = [e for e in schedule.events if isinstance(e, SuspectDuring)]
+        assert {e.target for e in suspicions} == set(range(n - (n - 1) // 2, n))
+        assert len({(e.start, e.duration) for e in suspicions}) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the scenario stage orchestrator."""
+
+import pytest
+
+from repro.scenarios.results import ScenarioResult
+from repro.scenarios.script import ScenarioScript, ScriptContext, Stage
+
+
+def result_stub():
+    return ScenarioResult(scenario="test", algorithm="fd", n=3, throughput=10.0)
+
+
+class TestConstruction:
+    def test_stage_needs_a_name(self):
+        with pytest.raises(ValueError):
+            Stage("", lambda context: None)
+
+    def test_duplicate_stage_names_rejected(self):
+        script = ScenarioScript("s").stage("build", lambda context: None)
+        with pytest.raises(ValueError):
+            script.stage("build", lambda context: None)
+
+    def test_empty_script_cannot_run(self):
+        with pytest.raises(ValueError):
+            ScenarioScript("s").run()
+
+
+class TestExecution:
+    def test_stages_run_in_declaration_order(self):
+        order = []
+        context = (
+            ScenarioScript("s")
+            .stage("a", lambda context: order.append("a"))
+            .stage("b", lambda context: order.append("b"))
+            .stage("c", lambda context: order.append("c"))
+            .run()
+        )
+        assert order == ["a", "b", "c"]
+        assert context.stages_run == ["a", "b", "c"]
+        assert context.ok
+
+    def test_values_flow_between_stages(self):
+        def produce(context):
+            context.values["system"] = "the-system"
+
+        def consume(context):
+            context.values["seen"] = context.require("system")
+
+        context = ScenarioScript("s").stage("p", produce).stage("c", consume).run()
+        assert context.values["seen"] == "the-system"
+
+    def test_require_names_the_missing_value(self):
+        script = ScenarioScript("s").stage("c", lambda context: context.require("system"))
+        with pytest.raises(RuntimeError, match="system"):
+            script.run()
+
+    def test_critical_failure_reraises_after_recording(self):
+        def boom(context):
+            raise ValueError("bad config")
+
+        ran = []
+        script = (
+            ScenarioScript("s")
+            .stage("boom", boom)
+            .stage("after", lambda context: ran.append("after"))
+        )
+        with pytest.raises(ValueError, match="bad config"):
+            script.run()
+        assert ran == []
+
+    def test_non_critical_failure_short_circuits_without_raising(self):
+        def attach(context):
+            context.result = result_stub()
+
+        def verify(context):
+            raise AssertionError("invariant violated")
+
+        ran = []
+        context = (
+            ScenarioScript("s")
+            .stage("attach", attach)
+            .stage("verify", verify, critical=False)
+            .stage("after", lambda context: ran.append("after"))
+            .run()
+        )
+        assert ran == []
+        assert not context.ok
+        assert context.failed_stage == "verify"
+        assert isinstance(context.error, AssertionError)
+
+
+class TestAnnotation:
+    def test_successful_run_records_the_stage_trace(self):
+        def attach(context):
+            context.result = result_stub()
+
+        context = ScenarioScript("s").stage("attach", attach).run()
+        assert context.result.params["script"] == {"stages": ["attach"]}
+
+    def test_failed_verification_is_a_datum_not_an_exception(self):
+        def attach(context):
+            context.result = result_stub()
+
+        def verify(context):
+            raise AssertionError("minority delivered past the fence")
+
+        context = (
+            ScenarioScript("s")
+            .stage("attach", attach)
+            .stage("verify", verify, critical=False)
+            .run()
+        )
+        trace = context.result.params["script"]
+        assert trace["stages"] == ["attach"]
+        assert trace["failed_stage"] == "verify"
+        assert "minority delivered" in trace["error"]
+
+    def test_critical_failure_still_annotates_an_existing_result(self):
+        def attach(context):
+            context.result = result_stub()
+
+        def boom(context):
+            raise RuntimeError("kernel died")
+
+        context = ScriptContext()
+        script = ScenarioScript("s").stage("attach", attach).stage("boom", boom)
+        with pytest.raises(RuntimeError):
+            script.run(context)
+        trace = context.result.params["script"]
+        assert trace["failed_stage"] == "boom"

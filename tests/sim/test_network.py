@@ -188,3 +188,167 @@ class TestStatsAndValidation:
         network.send(Message(0, (1,), "p", "x"))
         with pytest.raises(RuntimeError):
             sim.run()
+
+
+class TestPartitions:
+    def test_symmetric_partition_drops_cross_group_frames(self):
+        sim, network, collector = build(n=4)
+        network.partition([(0, 1), (2, 3)])
+        network.send(Message(0, (1, 2, 3), "p", "x"))
+        sim.run()
+        assert [dest for _t, dest, _m in collector.deliveries] == [1]
+        assert network.stats.dropped_partitioned == 2
+
+    def test_unlisted_pids_become_singletons(self):
+        sim, network, collector = build(n=3)
+        network.partition([(0, 1)])
+        network.send(Message(2, (0, 1), "p", "x"))
+        sim.run()
+        assert collector.deliveries == []
+        assert network.is_link_blocked(2, 0)
+        assert network.is_link_blocked(0, 2)
+        assert not network.is_link_blocked(0, 1)
+
+    def test_block_links_is_directional(self):
+        sim, network, collector = build(n=3)
+        network.block_links([(0, 2)])
+        network.send(Message(0, (2,), "p", "out"))
+        network.send(Message(2, (0,), "p", "back"))
+        sim.run()
+        assert [dest for _t, dest, _m in collector.deliveries] == [0]
+        assert network.is_link_blocked(0, 2)
+        assert not network.is_link_blocked(2, 0)
+
+    def test_heal_restores_every_link(self):
+        sim, network, collector = build(n=3)
+        network.partition([(0,), (1,), (2,)])
+        network.heal()
+        network.send(Message(0, (1, 2), "p", "x"))
+        sim.run()
+        assert len(collector.deliveries) == 2
+        assert network.stats.dropped_partitioned == 0
+
+    def test_a_new_partition_replaces_the_mask(self):
+        _sim, network, _collector = build(n=4)
+        network.partition([(0, 1), (2, 3)])
+        network.partition([(0, 2), (1, 3)])
+        assert not network.is_link_blocked(0, 2)
+        assert network.is_link_blocked(0, 1)
+
+    def test_partitioned_frame_still_occupies_sender_cpu_and_medium(self):
+        # The medium does not know the receiver is unreachable: the frame
+        # pays emission + transmission, then vanishes.
+        sim, network, _collector = build(n=2, lambda_cpu=1.0, network_time=1.0)
+        network.partition([(0,), (1,)])
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert network.cpu(0).busy_time == 1.0
+        assert network.network_resource.busy_time == 1.0
+        assert network.cpu(1).busy_time == 0.0
+
+    def test_partition_rejects_duplicate_and_unknown_pids(self):
+        _sim, network, _collector = build(n=3)
+        with pytest.raises(ValueError):
+            network.partition([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            network.partition([(0, 9)])
+
+    def test_partition_listeners_observe_mask_changes(self):
+        _sim, network, _collector = build(n=3)
+        seen = []
+        network.add_partition_listener(lambda blocked, now: seen.append(blocked))
+        network.block_links([(0, 1)])
+        network.heal()
+        assert seen == [{(0, 1)}, None]
+
+
+class TestWanDelays:
+    def test_matrix_must_be_square_and_non_negative(self):
+        _sim, network, _collector = build(n=3)
+        with pytest.raises(ValueError):
+            network.set_wan_delays([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            network.set_wan_delays([[0.0, -1.0, 0.0]] + [[0.0] * 3] * 2)
+
+    def test_wan_delay_adds_pure_propagation_latency(self):
+        sim, network, collector = build(n=2, lambda_cpu=1.0, network_time=1.0)
+        matrix = [[0.0, 25.0], [25.0, 0.0]]
+        network.set_wan_delays(matrix)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        # emission (1) + medium (1) + WAN (25) + reception (1)
+        assert collector.times_for(1) == [28.0]
+        # Propagation occupies no contended resource.
+        assert network.cpu(0).busy_time == 1.0
+        assert network.cpu(1).busy_time == 1.0
+        assert network.network_resource.busy_time == 1.0
+
+    def test_clearing_the_matrix_restores_lan_timing(self):
+        sim, network, collector = build(n=2)
+        network.set_wan_delays([[0.0, 25.0], [25.0, 0.0]])
+        network.set_wan_delays(None)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.times_for(1) == [3.0]
+
+
+class TestGrayFaults:
+    def build_with_rng(self, n=2, seed=1):
+        import random
+
+        sim, network, collector = build(n=n)
+        network.set_link_rng(random.Random(seed))
+        return sim, network, collector
+
+    def test_lossy_link_needs_a_random_stream(self):
+        _sim, network, _collector = build(n=2)
+        with pytest.raises(RuntimeError):
+            network.degrade_link(0, 1, loss_probability=0.5)
+
+    def test_certain_loss_drops_every_frame(self):
+        sim, network, collector = self.build_with_rng()
+        network.degrade_link(0, 1, loss_probability=1.0)
+        for _ in range(5):
+            network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.deliveries == []
+        assert network.stats.dropped_lossy_link == 5
+
+    def test_certain_duplication_delivers_two_copies(self):
+        sim, network, collector = self.build_with_rng()
+        network.degrade_link(0, 1, duplicate_probability=1.0)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert len(collector.deliveries) == 2
+        assert network.stats.duplicated_link == 1
+
+    def test_zero_probabilities_restore_the_link(self):
+        sim, network, collector = self.build_with_rng()
+        network.degrade_link(0, 1, loss_probability=1.0)
+        network.degrade_link(0, 1)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert len(collector.deliveries) == 1
+        assert network.stats.dropped_lossy_link == 0
+
+    def test_out_of_range_probability_rejected(self):
+        _sim, network, _collector = self.build_with_rng()
+        with pytest.raises(ValueError):
+            network.degrade_link(0, 1, loss_probability=1.5)
+
+    def test_degrade_cpu_slows_only_that_process(self):
+        sim, network, collector = build(n=2, lambda_cpu=1.0, network_time=1.0)
+        network.degrade_cpu(1, 5.0)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        # Reception costs 5 lambda on the degraded CPU: 1 + 1 + 5.
+        assert collector.times_for(1) == [7.0]
+        assert network.cpu(0).rate_factor == 1.0
+
+    def test_restore_cpu_returns_to_full_speed(self):
+        sim, network, collector = build(n=2)
+        network.degrade_cpu(1, 5.0)
+        network.restore_cpu(1)
+        network.send(Message(0, (1,), "p", "x"))
+        sim.run()
+        assert collector.times_for(1) == [3.0]

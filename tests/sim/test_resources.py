@@ -90,3 +90,38 @@ class TestFIFOResource:
         resource.submit(1.0, lambda: done.append(simulator.now))
         simulator.run()
         assert done == [1.0, 2.0]
+
+
+class TestRateFactor:
+    def test_default_factor_is_unity(self, resource):
+        assert resource.rate_factor == 1.0
+
+    def test_non_positive_factor_rejected(self, resource):
+        with pytest.raises(ValueError):
+            resource.set_rate_factor(0.0)
+        with pytest.raises(ValueError):
+            resource.set_rate_factor(-2.0)
+
+    def test_degraded_resource_scales_service_time(self, simulator, resource):
+        done = []
+        resource.set_rate_factor(3.0)
+        resource.submit(2.0, lambda: done.append(simulator.now))
+        simulator.run()
+        assert done == [6.0]
+
+    def test_factor_applies_at_submit_not_at_service(self, simulator, resource):
+        """Jobs accepted before a degradation keep their original cost."""
+        done = []
+        resource.submit(2.0, lambda: done.append(simulator.now))
+        resource.set_rate_factor(5.0)
+        resource.submit(2.0, lambda: done.append(simulator.now))
+        simulator.run()
+        assert done == [2.0, 12.0]
+
+    def test_restoring_the_factor_ends_the_degradation(self, simulator, resource):
+        done = []
+        resource.set_rate_factor(4.0)
+        resource.set_rate_factor(1.0)
+        resource.submit(2.0, lambda: done.append(simulator.now))
+        simulator.run()
+        assert done == [2.0]

@@ -180,11 +180,53 @@ class TestProtocolConformance:
             def suspect_during(self, target, start, duration, monitors=None):
                 calls.append(("suspect_during", target, start, duration))
 
+            def partition(self, groups):
+                calls.append(("partition", groups))
+
+            def partition_at(self, time, groups):
+                calls.append(("partition_at", time, groups))
+
+            def block_links(self, links):
+                calls.append(("block_links", links))
+
+            def block_links_at(self, time, links):
+                calls.append(("block_links_at", time, links))
+
+            def heal(self):
+                calls.append(("heal",))
+
+            def heal_at(self, time):
+                calls.append(("heal_at", time))
+
+            def degrade_cpu(self, pid, factor):
+                calls.append(("degrade_cpu", pid, factor))
+
+            def degrade_cpu_at(self, time, pid, factor):
+                calls.append(("degrade_cpu_at", time, pid, factor))
+
+            def restore_cpu(self, pid):
+                calls.append(("restore_cpu", pid))
+
+            def restore_cpu_at(self, time, pid):
+                calls.append(("restore_cpu_at", time, pid))
+
+            def degrade_link(self, src, dst, loss_probability=0.0, duplicate_probability=0.0):
+                calls.append(("degrade_link", src, dst))
+
+            def degrade_link_at(
+                self, time, src, dst, loss_probability=0.0, duplicate_probability=0.0
+            ):
+                calls.append(("degrade_link_at", time, src, dst, loss_probability))
+
         schedule = (
             FaultSchedule.pre_crashed([2])
             .crash(10.0, 1)
             .recover(50.0, 1)
             .add(SuspectDuring(start=20.0, duration=5.0, target=0))
+            .partition(60.0, [(0, 1), (2,)])
+            .heal(70.0)
+            .degrade(80.0, 0, 4.0)
+            .restore(90.0, 0)
         )
         recorder = Recorder()
         assert isinstance(recorder, FaultInjectable)
@@ -195,4 +237,8 @@ class TestProtocolConformance:
             ("crash_at", 10.0, 1),
             ("recover_at", 50.0, 1),
             ("suspect_during", 0, 20.0, 5.0),
+            ("partition_at", 60.0, ((0, 1), (2,))),
+            ("heal_at", 70.0),
+            ("degrade_cpu_at", 80.0, 0, 4.0),
+            ("restore_cpu_at", 90.0, 0),
         ]
